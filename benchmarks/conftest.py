@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation (§7) at reduced sweep sizes; set
+``REPRO_FULL=1`` for the paper-scale sweeps recorded in EXPERIMENTS.md.
+Each bench prints the regenerated rows/series and uses pytest-benchmark
+to time one representative simulation run.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def full_mode() -> bool:
+    """Whether to run paper-scale sweeps (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") == "1"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Geo-distributed deployment: delivery latency and the convoy effect.
+
+Reproduces, at example scale, the heart of the paper's WAN evaluation
+(§7.5): 8 groups, each in its own region (90 ms RTT between regions,
+30 ms within), clients colocated with every replica. It runs PrimCast,
+PrimCast HC, White-Box and FastCast at a low and a high load and prints
+the latency picture, then demonstrates the *worst-case* convoy with the
+crafted two-message scenario of §3.2/§6 — where hybrid clocks provably
+shave the failure-free latency from 5 steps to 4 + 2ε/Δ.
+
+Run:
+    python examples/wan_convoy.py
+"""
+
+import sys
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_load_point
+from repro.harness.steps import measure_primcast_convoy
+from repro.workload.scenarios import wan_distributed_leaders
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    scenario = wan_distributed_leaders()
+    print(f"scenario: {scenario.name}")
+    print(f"  cross-region RTT 90 ms, intra-region RTT 30 ms, 8 groups x 3\n")
+
+    loads = ((2, "low load"),) if quick else ((2, "low load"), (32, "high load"))
+    rows = []
+    for outstanding, label in loads:
+        for protocol in ("primcast", "primcast-hc", "whitebox", "fastcast"):
+            result = run_load_point(
+                protocol,
+                scenario,
+                n_dest_groups=2,
+                outstanding=outstanding,
+                warmup_ms=300.0 if quick else 600.0,
+                measure_ms=400.0 if quick else 800.0,
+                keep_samples=False,
+            )
+            rows.append(
+                [
+                    label,
+                    protocol,
+                    f"{result.throughput_kmsgs:.2f}k",
+                    f"{result.latency['p50']:.1f}",
+                    f"{result.latency['p95']:.1f}",
+                ]
+            )
+    print(format_table(
+        ["load", "protocol", "tput (msg/s)", "p50 (ms)", "p95 (ms)"], rows
+    ))
+    print("""
+PrimCast delivers at every replica about one intra-group step (~15 ms)
+before FastCast and well before White-Box's followers; under load,
+delivery latencies grow as messages wait for earlier-timestamped ones
+(the convoy effect).
+""")
+
+    print("Worst-case convoy (crafted scenario, Δ = 10 ms):")
+    plain = measure_primcast_convoy(hybrid=False, delta_ms=10.0)
+    rows = [["PrimCast", plain["analytic_steps"], plain["measured_steps"]]]
+    for eps in (0.5, 1.0, 2.0):
+        hc = measure_primcast_convoy(hybrid=True, delta_ms=10.0, epsilon_ms=eps)
+        rows.append([f"PrimCast HC (eps={eps}ms)", hc["analytic_steps"], hc["measured_steps"]])
+    print(format_table(["variant", "bound (steps)", "measured (steps)"], rows))
+    print("\nWith 2ε an order of magnitude below Δ, loosely synchronized")
+    print("clocks recover almost a full communication step of the convoy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Applications built on the atomic multicast layer.
+
+Currently a partitioned, replicated key-value store — the class of
+system the paper's introduction motivates (§1): each replica group holds
+a shard, atomic multicast orders single-shard commands locally and
+cross-shard transactions globally.
+"""
+
+from .cluster import KvCluster
+from .kvstore import (
+    Command,
+    Delete,
+    Get,
+    Increment,
+    KvReplica,
+    Put,
+    Transaction,
+    partition_of,
+)
+
+__all__ = [
+    "KvCluster",
+    "KvReplica",
+    "Command",
+    "Put",
+    "Get",
+    "Delete",
+    "Increment",
+    "Transaction",
+    "partition_of",
+]

@@ -1,0 +1,93 @@
+"""Convenience cluster wiring for the KV store.
+
+Bundles the simulation substrate, a protocol deployment and one
+:class:`~repro.apps.kvstore.KvReplica` per process, with key-based
+routing for client commands. Primarily a demonstration vehicle (examples
+and tests); the pieces compose manually just as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.config import uniform_groups
+from ..core.process import PrimCastProcess
+from ..baselines.fastcast import FastCastProcess
+from ..baselines.whitebox import WhiteBoxProcess
+from ..sim.costs import CostModel
+from ..sim.events import Scheduler
+from ..sim.latency import ConstantLatency, LatencyModel
+from ..sim.network import Network
+from ..sim.rng import child_rng
+from .kvstore import Command, KvReplica, partition_of
+
+_PROTOCOLS = {
+    "primcast": PrimCastProcess,
+    "whitebox": WhiteBoxProcess,
+    "fastcast": FastCastProcess,
+}
+
+
+class KvCluster:
+    """A simulated KV deployment: partitions × replicas + routing."""
+
+    def __init__(
+        self,
+        n_partitions: int = 3,
+        replicas_per_partition: int = 3,
+        protocol: str = "primcast",
+        latency: Optional[LatencyModel] = None,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 1,
+    ):
+        if protocol not in _PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.n_partitions = n_partitions
+        self.config = uniform_groups(n_partitions, replicas_per_partition)
+        self.scheduler = Scheduler()
+        self.network = Network(
+            self.scheduler, latency or ConstantLatency(1.0), child_rng(seed, "kv")
+        )
+        cls = _PROTOCOLS[protocol]
+        self.processes: Dict[int, Any] = {
+            pid: cls(pid, self.config, self.scheduler, self.network, cost_model)
+            for pid in self.config.all_pids
+        }
+        self.replicas: Dict[int, KvReplica] = {
+            pid: KvReplica(proc, n_partitions)
+            for pid, proc in self.processes.items()
+        }
+
+    def replica_for(self, command: Command, index: int = 0) -> KvReplica:
+        """A replica serving one of the command's partitions."""
+        target = min(command.partitions(self.n_partitions))
+        pid = self.config.members(target)[index]
+        return self.replicas[pid]
+
+    def submit(self, command: Command, on_done=None) -> None:
+        """Route ``command`` to an appropriate replica and submit it."""
+        self.replica_for(command).submit(command, on_done)
+
+    def run(self, until: float = 1000.0) -> None:
+        """Advance the simulation."""
+        self.scheduler.run(until=until)
+
+    # -- verification helpers ---------------------------------------------
+
+    def partition_states(self, partition: int) -> List[Dict[str, Any]]:
+        """Every replica's state for one partition."""
+        return [
+            r.state for r in self.replicas.values() if r.partition == partition
+        ]
+
+    def assert_replicas_converged(self) -> None:
+        """All replicas of each partition hold identical state."""
+        for partition in range(self.n_partitions):
+            states = self.partition_states(partition)
+            first = states[0]
+            for state in states[1:]:
+                if state != first:
+                    raise AssertionError(
+                        f"partition {partition} replicas diverged: "
+                        f"{state} != {first}"
+                    )

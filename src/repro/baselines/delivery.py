@@ -1,0 +1,100 @@
+"""Shared timestamp-order delivery queue for the baselines.
+
+Both White-Box (at primaries) and FastCast deliver committed messages in
+``(final_ts, mid)`` order, holding a message back while any other pending
+message could still end up with a smaller final timestamp. This helper
+implements that check with two heaps:
+
+* a *commit heap* of ``(final_ts, mid)`` for committed messages;
+* a *lazy bound heap* over pending messages keyed by a lower bound of
+  their eventual final timestamp. Bounds are monotone (proposals only
+  accumulate), so a stale key is still a valid lower bound and the top
+  is refreshed on demand — the same scheme PrimCast's delivery uses.
+
+This keeps per-event work near O(log P) instead of O(P²) scans under
+load.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..core.messages import MessageId
+
+
+class DeliveryQueue:
+    """Timestamp-ordered delivery with a monotone blocker bound.
+
+    Args:
+        min_bound: callable returning the current lower bound on a
+            pending message's final timestamp; must be monotone
+            non-decreasing over time.
+    """
+
+    def __init__(self, min_bound: Callable[[MessageId], int]):
+        self.min_bound = min_bound
+        self.pending: Set[MessageId] = set()
+        self._commit_heap: List[Tuple[int, MessageId]] = []
+        self._bound_heap: List[Tuple[int, MessageId]] = []
+        self._committed: Set[MessageId] = set()
+
+    def add_pending(self, mid: MessageId) -> None:
+        """Register a message that may still get a (small) final ts."""
+        if mid not in self.pending:
+            self.pending.add(mid)
+            heapq.heappush(self._bound_heap, (0, mid))
+
+    def commit(self, mid: MessageId, final_ts: int) -> None:
+        """Mark ``mid`` ready for delivery with its final timestamp."""
+        if mid not in self._committed:
+            self._committed.add(mid)
+            heapq.heappush(self._commit_heap, (final_ts, mid))
+
+    def is_committed(self, mid: MessageId) -> bool:
+        return mid in self._committed
+
+    def _min_bound_excluding(self, exclude: MessageId) -> Optional[Tuple[int, MessageId]]:
+        heap = self._bound_heap
+        set_aside: List[Tuple[int, MessageId]] = []
+        result: Optional[Tuple[int, MessageId]] = None
+        while heap:
+            bound, mid = heap[0]
+            if mid not in self.pending:
+                heapq.heappop(heap)
+                continue
+            if mid == exclude:
+                set_aside.append(heapq.heappop(heap))
+                continue
+            current = self.min_bound(mid)
+            if current > bound:
+                heapq.heapreplace(heap, (current, mid))
+                continue
+            result = (bound, mid)
+            break
+        for entry in set_aside:
+            heapq.heappush(heap, entry)
+        return result
+
+    def pop_deliverable(self, clock: int) -> Optional[Tuple[MessageId, int]]:
+        """Return the next deliverable ``(mid, final_ts)`` or None.
+
+        Deliverable: the smallest committed ``(final, mid)`` such that
+        ``final <= clock`` and ``(final, mid)`` is strictly below every
+        other pending message's bound.
+        """
+        heap = self._commit_heap
+        while heap:
+            final, mid = heap[0]
+            if mid not in self.pending:
+                heapq.heappop(heap)
+                continue
+            if final > clock:
+                return None
+            other = self._min_bound_excluding(mid)
+            if other is not None and (final, mid) >= other:
+                return None
+            heapq.heappop(heap)
+            self.pending.discard(mid)
+            return mid, final
+        return None

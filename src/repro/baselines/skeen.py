@@ -1,0 +1,185 @@
+"""Skeen's protocol (§3.1) — the classic, non-fault-tolerant ancestor.
+
+Destinations are individual processes rather than replica groups; the
+protocol tolerates no failures but exhibits the timestamping scheme every
+genuine atomic multicast in this repo descends from:
+
+1. Each process keeps a logical clock.
+2. ``m`` is sent to every process in ``m.dest``.
+3. A destination increments its clock, assigns a local timestamp, and
+   sends it to the other destinations; ``m`` becomes pending.
+4. The final timestamp is the max of all local timestamps; processes
+   update their clock to it.
+5. ``m`` is delivered once no pending message can have a smaller final
+   timestamp (ties broken by message id).
+
+This module is used by the unit tests and the quickstart example as the
+simplest correct implementation of timestamp-based ordering; the paper's
+evaluation does not include it (it is not fault tolerant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.messages import MessageId
+from ..rmcast.fifo import RMcastProcess
+from ..sim.costs import CostModel
+from ..sim.events import Scheduler
+from ..sim.network import Network
+
+
+class SkeenMulticast:
+    """An application message addressed to a set of *processes*."""
+
+    __slots__ = ("mid", "dest", "payload")
+
+    def __init__(self, mid: MessageId, dest: FrozenSet[int], payload: Any = None):
+        if not dest:
+            raise ValueError("need at least one destination process")
+        self.mid = mid
+        self.dest = frozenset(dest)
+        self.payload = payload
+
+
+class SkeenStart:
+    __slots__ = ("multicast",)
+    kind = "start"
+
+    def __init__(self, multicast: SkeenMulticast):
+        self.multicast = multicast
+
+    @property
+    def mid(self) -> MessageId:
+        return self.multicast.mid
+
+
+class SkeenTimestamp:
+    __slots__ = ("multicast", "ts", "sender")
+    kind = "skeen-ts"
+
+    def __init__(self, multicast: SkeenMulticast, ts: int, sender: int):
+        self.multicast = multicast
+        self.ts = ts
+        self.sender = sender
+
+    @property
+    def mid(self) -> MessageId:
+        return self.multicast.mid
+
+
+DeliverHook = Callable[["SkeenProcess", SkeenMulticast, int], None]
+
+
+class SkeenProcess(RMcastProcess):
+    """One destination process running Skeen's protocol."""
+
+    def __init__(
+        self,
+        pid: int,
+        scheduler: Scheduler,
+        network: Network,
+        cost_model: Optional[CostModel] = None,
+    ):
+        super().__init__(pid, scheduler, network, cost_model)
+        self.clock = 0
+        self.delivered: Set[MessageId] = set()
+        self.delivery_log: List[Tuple[MessageId, int, float]] = []
+        self.deliver_hooks: List[DeliverHook] = []
+        # mid -> {sender: ts} collected local timestamps
+        self._ts_seen: Dict[MessageId, Dict[int, int]] = {}
+        self._pending: Dict[MessageId, SkeenMulticast] = {}
+        self._final: Dict[MessageId, int] = {}
+        self._next_seq = 0
+
+    def add_deliver_hook(self, hook: DeliverHook) -> None:
+        self.deliver_hooks.append(hook)
+
+    def a_multicast(self, dest: Iterable[int], payload: Any = None) -> SkeenMulticast:
+        """Multicast ``payload`` to the destination *processes*."""
+        mid = (self.pid, self._next_seq)
+        self._next_seq += 1
+        multicast = SkeenMulticast(mid, frozenset(dest), payload)
+        self.r_multicast(SkeenStart(multicast), sorted(multicast.dest))
+        return multicast
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def on_r_deliver(self, origin: int, payload: Any) -> None:
+        if isinstance(payload, SkeenStart):
+            self._on_start(payload.multicast)
+        elif isinstance(payload, SkeenTimestamp):
+            self._on_ts(payload)
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")
+
+    def _on_start(self, multicast: SkeenMulticast) -> None:
+        if multicast.mid in self._pending or multicast.mid in self.delivered:
+            return
+        self.clock += 1
+        self._pending[multicast.mid] = multicast
+        # Record our own proposal immediately so the delivery bound below
+        # never underestimates this message (self-delivery of the
+        # timestamp message would arrive one CPU slot later).
+        self._ts_seen.setdefault(multicast.mid, {})[self.pid] = self.clock
+        self.r_multicast(
+            SkeenTimestamp(multicast, self.clock, self.pid), sorted(multicast.dest)
+        )
+
+    def _on_ts(self, msg: SkeenTimestamp) -> None:
+        mid = msg.mid
+        seen = self._ts_seen.setdefault(mid, {})
+        seen[msg.sender] = msg.ts
+        multicast = msg.multicast
+        if mid not in self._pending and mid not in self.delivered:
+            # Timestamps can arrive before the start on another channel.
+            self._pending[mid] = multicast
+        if len(seen) == len(multicast.dest) and mid not in self._final:
+            final = max(seen.values())
+            self._final[mid] = final
+            if final > self.clock:
+                self.clock = final
+        self._try_deliver()
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def _min_possible(self, mid: MessageId) -> int:
+        """Lower bound on the final timestamp of a pending message: the
+        largest local timestamp seen for it so far (at least our own)."""
+        seen = self._ts_seen.get(mid)
+        return max(seen.values()) if seen else 0
+
+    def _try_deliver(self) -> None:
+        while self._pending:
+            best: Optional[MessageId] = None
+            best_final = 0
+            for mid in self._pending:
+                final = self._final.get(mid)
+                if final is None:
+                    continue
+                if best is None or (final, mid) < (best_final, best):
+                    best, best_final = mid, final
+            if best is None:
+                return
+            if best_final > self.clock:
+                return
+            # No other pending message may end up with a smaller final
+            # timestamp: its final is at least the largest local
+            # timestamp seen for it so far.
+            for other in self._pending:
+                if other == best:
+                    continue
+                if (best_final, best) >= (self._min_possible(other), other):
+                    return
+            self._deliver(best, best_final)
+
+    def _deliver(self, mid: MessageId, final: int) -> None:
+        multicast = self._pending.pop(mid)
+        self.delivered.add(mid)
+        self.delivery_log.append((mid, final, self.scheduler.now))
+        for hook in self.deliver_hooks:
+            hook(self, multicast, final)

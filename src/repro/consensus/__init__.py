@@ -1,0 +1,23 @@
+"""Consensus substrate: single-decree Paxos + a replicated log."""
+
+from .log import ReplicatedLog
+from .paxos import (
+    PAXOS_KINDS,
+    Accept,
+    Accepted,
+    Ballot,
+    PaxosNode,
+    Prepare,
+    Promise,
+)
+
+__all__ = [
+    "PaxosNode",
+    "ReplicatedLog",
+    "Prepare",
+    "Promise",
+    "Accept",
+    "Accepted",
+    "Ballot",
+    "PAXOS_KINDS",
+]

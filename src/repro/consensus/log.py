@@ -1,0 +1,94 @@
+"""Replicated log (multi-decree Paxos) on top of single-decree instances.
+
+The classic "atomic broadcast inside a group" substrate that pre-PrimCast
+multicast protocols build on ([19, 37]: consensus maintains the group
+clock and timestamps messages). PrimCast's whole point is *not* needing
+this on the delivery path; we provide it anyway as a substrate —
+completing the consensus package and enabling the classic construction
+in tests/comparisons.
+
+A stable leader assigns commands to consecutive slots and runs phase-2
+Paxos per slot; followers apply decided slots in order. Leader handover
+reuses the single-decree phase-1 machinery per slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .paxos import PaxosNode
+
+ApplyCallback = Callable[[int, Any], None]
+
+
+class ReplicatedLog:
+    """One member's view of a totally ordered command log.
+
+    Args:
+        pid: this member's process id.
+        members: group member pids (members[0] is the initial leader).
+        send_fn: transport callable ``send_fn(pids, msg)``.
+        on_apply: fired as ``on_apply(slot, command)`` in slot order,
+            exactly once per slot.
+        quorum_size: defaults to majority.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: List[int],
+        send_fn: Callable[[List[int], Any], None],
+        on_apply: ApplyCallback,
+        quorum_size: Optional[int] = None,
+    ):
+        self.pid = pid
+        self.members = list(members)
+        self.on_apply = on_apply
+        self.is_leader = pid == members[0]
+        self._next_slot = 0  # leader: next slot to assign
+        self._apply_cursor = 0  # next slot to apply locally
+        self._decided: Dict[int, Any] = {}
+        self.node = PaxosNode(
+            pid,
+            members,
+            send_fn=send_fn,
+            on_decide=self._on_decide,
+            quorum_size=quorum_size,
+            skip_phase1=True,
+        )
+
+    # ------------------------------------------------------------------
+
+    def append(self, command: Any) -> int:
+        """Leader-only: assign ``command`` the next slot and propose it.
+
+        Returns the slot number.
+        """
+        if not self.is_leader:
+            raise RuntimeError(f"process {self.pid} is not the log leader")
+        slot = self._next_slot
+        self._next_slot += 1
+        self.node.propose(("slot", slot), command)
+        return slot
+
+    def handle(self, src: int, msg: Any) -> bool:
+        """Feed a consensus message; returns False if not one."""
+        return self.node.handle(src, msg)
+
+    def decided_upto(self) -> int:
+        """Number of contiguously applied slots."""
+        return self._apply_cursor
+
+    def value_at(self, slot: int) -> Any:
+        """Decided value for ``slot`` (None if undecided)."""
+        return self._decided.get(slot)
+
+    # ------------------------------------------------------------------
+
+    def _on_decide(self, instance: Any, value: Any) -> None:
+        _, slot = instance
+        self._decided[slot] = value
+        while self._apply_cursor in self._decided:
+            slot = self._apply_cursor
+            self._apply_cursor += 1
+            self.on_apply(slot, self._decided[slot])

@@ -1,0 +1,242 @@
+"""Single-decree Paxos.
+
+Consensus substrate used by the FastCast baseline (which, per §4.1, runs
+"two sequential rounds of consensus" inside each destination group) and
+available as a standalone building block. The implementation is the
+classic two-phase protocol with all three roles colocated on every group
+member:
+
+* Phase 1 (prepare/promise) establishes a ballot.
+* Phase 2 (accept/accepted) chooses a value; accepted messages go to
+  **all** members, so every member learns the decision one step after the
+  accept — the "2b all-to-all" pattern whose message count appears in the
+  paper's Table 1 complexity row for FastCast.
+
+Ballots are ``(round, pid)`` pairs, totally ordered, so competing
+proposers never collide on a ballot number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Ballot = Tuple[int, int]
+
+
+class Prepare:
+    """Phase 1a."""
+
+    __slots__ = ("instance", "ballot")
+    kind = "paxos-1a"
+
+    def __init__(self, instance: Any, ballot: Ballot):
+        self.instance = instance
+        self.ballot = ballot
+
+
+class Promise:
+    """Phase 1b: carries the highest accepted (ballot, value) if any."""
+
+    __slots__ = ("instance", "ballot", "accepted_ballot", "accepted_value")
+    kind = "paxos-1b"
+
+    def __init__(
+        self,
+        instance: Any,
+        ballot: Ballot,
+        accepted_ballot: Optional[Ballot],
+        accepted_value: Any,
+    ):
+        self.instance = instance
+        self.ballot = ballot
+        self.accepted_ballot = accepted_ballot
+        self.accepted_value = accepted_value
+
+
+class Accept:
+    """Phase 2a."""
+
+    __slots__ = ("instance", "ballot", "value")
+    kind = "paxos-2a"
+
+    def __init__(self, instance: Any, ballot: Ballot, value: Any):
+        self.instance = instance
+        self.ballot = ballot
+        self.value = value
+
+
+class Accepted:
+    """Phase 2b, sent to all members (everyone learns in one step)."""
+
+    __slots__ = ("instance", "ballot", "value")
+    kind = "paxos-2b"
+
+    def __init__(self, instance: Any, ballot: Ballot, value: Any):
+        self.instance = instance
+        self.ballot = ballot
+        self.value = value
+
+
+PAXOS_KINDS = ("paxos-1a", "paxos-1b", "paxos-2a", "paxos-2b")
+
+
+class _InstanceState:
+    __slots__ = (
+        "promised",
+        "accepted_ballot",
+        "accepted_value",
+        "decided",
+        "decided_value",
+        "promises",
+        "accepteds",
+        "proposal",
+        "my_ballot",
+    )
+
+    def __init__(self) -> None:
+        self.promised: Optional[Ballot] = None
+        self.accepted_ballot: Optional[Ballot] = None
+        self.accepted_value: Any = None
+        self.decided = False
+        self.decided_value: Any = None
+        self.promises: Dict[int, Promise] = {}
+        self.accepteds: Dict[Ballot, Dict[int, Any]] = {}
+        self.proposal: Any = None
+        self.my_ballot: Optional[Ballot] = None
+
+
+class PaxosNode:
+    """One group member running (possibly many instances of) Paxos.
+
+    The node is transport-agnostic: the owner supplies ``send_fn(pids,
+    msg)`` and receives decisions through ``on_decide(instance, value)``.
+
+    Args:
+        pid: this member's process id.
+        members: all group member pids.
+        quorum_size: quorum size (majority by default when ``None``).
+        send_fn: callable used to multicast consensus messages.
+        on_decide: callback fired exactly once per decided instance.
+        skip_phase1: treat the proposer as a stable leader and go straight
+            to phase 2 with ballot ``(0, pid)`` — the steady-state
+            optimization every multi-Paxos deployment uses, and the mode
+            FastCast runs in under stable leaders.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: List[int],
+        send_fn: Callable[[List[int], Any], None],
+        on_decide: Callable[[Any, Any], None],
+        quorum_size: Optional[int] = None,
+        skip_phase1: bool = True,
+    ):
+        self.pid = pid
+        self.members = list(members)
+        self.quorum_size = quorum_size or (len(members) // 2 + 1)
+        self.send_fn = send_fn
+        self.on_decide = on_decide
+        self.skip_phase1 = skip_phase1
+        self._instances: Dict[Any, _InstanceState] = {}
+
+    def _state(self, instance: Any) -> _InstanceState:
+        state = self._instances.get(instance)
+        if state is None:
+            state = _InstanceState()
+            self._instances[instance] = state
+        return state
+
+    def is_decided(self, instance: Any) -> bool:
+        """Whether this node has learned a decision for ``instance``."""
+        return self._state(instance).decided
+
+    def decided_value(self, instance: Any) -> Any:
+        """The learned decision (``None`` if not decided)."""
+        return self._state(instance).decided_value
+
+    # ------------------------------------------------------------------
+    # proposer
+    # ------------------------------------------------------------------
+
+    def propose(self, instance: Any, value: Any, round_number: int = 0) -> None:
+        """Propose ``value`` for ``instance``.
+
+        With ``skip_phase1`` and round 0, goes straight to phase 2.
+        """
+        state = self._state(instance)
+        if state.decided:
+            return
+        state.proposal = value
+        ballot = (round_number, self.pid)
+        state.my_ballot = ballot
+        if self.skip_phase1 and round_number == 0:
+            self.send_fn(self.members, Accept(instance, ballot, value))
+        else:
+            self.send_fn(self.members, Prepare(instance, ballot))
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def handle(self, src: int, msg: Any) -> bool:
+        """Process a consensus message; returns False if not one."""
+        if isinstance(msg, Prepare):
+            self._on_prepare(src, msg)
+        elif isinstance(msg, Promise):
+            self._on_promise(src, msg)
+        elif isinstance(msg, Accept):
+            self._on_accept(src, msg)
+        elif isinstance(msg, Accepted):
+            self._on_accepted(src, msg)
+        else:
+            return False
+        return True
+
+    def _on_prepare(self, src: int, msg: Prepare) -> None:
+        state = self._state(msg.instance)
+        if state.promised is None or msg.ballot > state.promised:
+            state.promised = msg.ballot
+            reply = Promise(
+                msg.instance, msg.ballot, state.accepted_ballot, state.accepted_value
+            )
+            self.send_fn([src], reply)
+
+    def _on_promise(self, src: int, msg: Promise) -> None:
+        state = self._state(msg.instance)
+        if state.decided or msg.ballot != state.my_ballot:
+            return
+        state.promises[src] = msg
+        if len(state.promises) < self.quorum_size:
+            return
+        # Choose the value of the highest accepted ballot, else our own.
+        best: Optional[Promise] = None
+        for promise in state.promises.values():
+            if promise.accepted_ballot is None:
+                continue
+            if best is None or promise.accepted_ballot > best.accepted_ballot:
+                best = promise
+        value = best.accepted_value if best is not None else state.proposal
+        state.promises.clear()
+        self.send_fn(self.members, Accept(msg.instance, msg.ballot, value))
+
+    def _on_accept(self, src: int, msg: Accept) -> None:
+        state = self._state(msg.instance)
+        if state.promised is not None and msg.ballot < state.promised:
+            return
+        state.promised = msg.ballot
+        state.accepted_ballot = msg.ballot
+        state.accepted_value = msg.value
+        self.send_fn(self.members, Accepted(msg.instance, msg.ballot, msg.value))
+
+    def _on_accepted(self, src: int, msg: Accepted) -> None:
+        state = self._state(msg.instance)
+        if state.decided:
+            return
+        votes = state.accepteds.setdefault(msg.ballot, {})
+        votes[src] = msg.value
+        if len(votes) >= self.quorum_size:
+            state.decided = True
+            state.decided_value = msg.value
+            state.accepteds.clear()
+            self.on_decide(msg.instance, msg.value)

@@ -1,0 +1,32 @@
+"""Epochs for PrimCast's primary-based group protocol (§5.2.1).
+
+An epoch is owned by exactly one process — the epoch leader. Epochs are
+totally ordered per group and carry their owner, so ``leader(E)`` is a
+projection and two candidates can never own the same epoch. Epochs of
+different groups are unrelated; each group advances its epochs
+independently.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Epoch(NamedTuple):
+    """An epoch ``(number, leader_pid)``, ordered lexicographically."""
+
+    number: int
+    leader: int
+
+    def next_for(self, pid: int) -> "Epoch":
+        """The next epoch higher than this one owned by ``pid``
+        (Algorithm 3, line 59)."""
+        return Epoch(self.number + 1, pid)
+
+    def __str__(self) -> str:
+        return f"e{self.number}@{self.leader}"
+
+
+def initial_epoch(leader_pid: int) -> Epoch:
+    """The epoch every group member starts in (Algorithm 1, lines 6–8)."""
+    return Epoch(0, leader_pid)

@@ -1,0 +1,171 @@
+"""PrimCast wire messages (the tuples of Algorithms 1–3).
+
+Every message carries a short ``kind`` string used by the CPU cost model
+(:mod:`repro.sim.costs`) and, where applicable, the multicast id ``mid``
+used by the genuineness tracer. ``start`` is the only payload-bearing
+kind; acks and bumps are the small mergeable control messages §7.1
+credits for PrimCast's throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, List, Optional, Tuple
+
+from .epoch import Epoch
+
+#: Multicast id: (origin pid, per-origin sequence number). Totally
+#: ordered, used to break final-timestamp ties (Algorithm 1, line 30).
+MessageId = Tuple[int, int]
+
+
+class Multicast:
+    """An application message submitted via a-multicast.
+
+    Attributes:
+        mid: unique, totally ordered id.
+        dest: destination *group* ids (``m.dest`` in the paper).
+        payload: opaque application payload.
+    """
+
+    __slots__ = ("mid", "dest", "payload")
+
+    def __init__(self, mid: MessageId, dest: FrozenSet[int], payload: Any = None):
+        if not dest:
+            raise ValueError("a multicast needs at least one destination group")
+        self.mid = mid
+        self.dest = frozenset(dest)
+        self.payload = payload
+
+    @property
+    def is_local(self) -> bool:
+        """True when addressed to a single group (§2.2)."""
+        return len(self.dest) == 1
+
+    def __repr__(self) -> str:
+        return f"<Multicast {self.mid} dest={sorted(self.dest)}>"
+
+
+class Start:
+    """⟨start, m⟩ — carries the payload to every destination process."""
+
+    __slots__ = ("multicast",)
+    kind = "start"
+
+    def __init__(self, multicast: Multicast):
+        self.multicast = multicast
+
+    @property
+    def mid(self) -> MessageId:
+        return self.multicast.mid
+
+
+class Ack:
+    """⟨ack, m, h, E, ts, q⟩ — process ``q`` of group ``h`` acknowledges
+    local timestamp ``ts`` for ``m``, proposed in epoch ``E``.
+
+    Carries the multicast object so a remote ack also acts as a start
+    tuple (Algorithm 2, line 47).
+    """
+
+    __slots__ = ("multicast", "group", "epoch", "ts", "sender")
+    kind = "ack"
+
+    def __init__(self, multicast: Multicast, group: int, epoch: Epoch, ts: int, sender: int):
+        self.multicast = multicast
+        self.group = group
+        self.epoch = epoch
+        self.ts = ts
+        self.sender = sender
+
+    @property
+    def mid(self) -> MessageId:
+        return self.multicast.mid
+
+    def __repr__(self) -> str:
+        return (
+            f"<Ack m={self.multicast.mid} g={self.group} {self.epoch} "
+            f"ts={self.ts} from={self.sender}>"
+        )
+
+
+class Bump:
+    """⟨bump, E, ts, q⟩ — clock value propagation inside a group
+    (Algorithm 2, line 50). ``E`` is the sender's *promised* epoch, so a
+    process promised to a newer epoch cannot influence quorum-clock()
+    computations of older epochs (§5.2.4)."""
+
+    __slots__ = ("epoch", "ts", "sender")
+    kind = "bump"
+
+    def __init__(self, epoch: Epoch, ts: int, sender: int):
+        self.epoch = epoch
+        self.ts = ts
+        self.sender = sender
+
+
+class NewEpoch:
+    """⟨new-epoch, E⟩ — a candidate announces epoch E (Algorithm 3)."""
+
+    __slots__ = ("epoch",)
+    kind = "new-epoch"
+
+    def __init__(self, epoch: Epoch):
+        self.epoch = epoch
+
+
+class EpochPromise:
+    """⟨promise, E, p, clock, E_cur, T⟩ — a member promises epoch E and
+    reports its state to the candidate (Algorithm 3, line 64)."""
+
+    __slots__ = ("epoch", "sender", "clock", "e_cur", "t_seq")
+    kind = "promise"
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        sender: int,
+        clock: int,
+        e_cur: Epoch,
+        t_seq: List[Tuple[Epoch, Multicast, int]],
+    ):
+        self.epoch = epoch
+        self.sender = sender
+        self.clock = clock
+        self.e_cur = e_cur
+        self.t_seq = t_seq
+
+
+class NewState:
+    """⟨new-state, E, T, ts⟩ — the candidate installs the chosen state
+    (Algorithm 3, line 69)."""
+
+    __slots__ = ("epoch", "t_seq", "ts")
+    kind = "new-state"
+
+    def __init__(self, epoch: Epoch, t_seq: List[Tuple[Epoch, Multicast, int]], ts: int):
+        self.epoch = epoch
+        self.t_seq = t_seq
+        self.ts = ts
+
+
+class AcceptEpoch:
+    """⟨accept, E, p⟩ — a member confirms it installed epoch E
+    (Algorithm 3, line 74)."""
+
+    __slots__ = ("epoch", "sender")
+    kind = "accept-epoch"
+
+    def __init__(self, epoch: Epoch, sender: int):
+        self.epoch = epoch
+        self.sender = sender
+
+
+PRIMCAST_KINDS = (
+    "start",
+    "ack",
+    "bump",
+    "new-epoch",
+    "promise",
+    "new-state",
+    "accept-epoch",
+)

@@ -1,0 +1,557 @@
+"""PrimCast replica process — Algorithms 1, 2 and 3 of the paper.
+
+One :class:`PrimCastProcess` per server. Processes communicate only via
+FIFO non-uniform reliable multicast (``r_multicast`` / ``on_r_deliver``),
+exactly as the pseudocode does. The predicates of Algorithm 1 are
+evaluated incrementally with the trackers in :mod:`repro.core.state`; the
+literal scan-based predicates live in :mod:`repro.core.spec` and the test
+suite cross-checks the two.
+
+The hybrid-clock modification of §6 is a one-line change to the proposal
+rule (``clock = max(clock + 1, real-clock())``), enabled with
+``hybrid_clock=True`` and a :class:`~repro.sim.clock.PhysicalClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..election.omega import OmegaOracle
+from ..rmcast.fifo import RMcastProcess
+from ..sim.clock import PhysicalClock
+from ..sim.costs import CostModel
+from ..sim.events import Scheduler
+from ..sim.network import Network
+from .config import GroupConfig
+from .epoch import Epoch, initial_epoch
+from .messages import (
+    Ack,
+    AcceptEpoch,
+    Bump,
+    EpochPromise,
+    MessageId,
+    Multicast,
+    NewEpoch,
+    NewState,
+    Start,
+)
+from .state import AckTracker, ClockTracker
+
+# Process roles (the paper's `state` variable, Algorithm 1 line 8 and
+# Algorithm 3).
+PRIMARY = "primary"
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+PROMISED = "promised"
+
+DeliverHook = Callable[["PrimCastProcess", Multicast, int], None]
+
+# T entries: (epoch the proposal was made in, the multicast, local ts).
+TEntry = Tuple[Epoch, Multicast, int]
+
+
+class PrimCastProcess(RMcastProcess):
+    """A PrimCast group member.
+
+    Args:
+        pid: this process's id (must belong to a group in ``config``).
+        config: group membership and quorum system.
+        scheduler / network / cost_model: simulation substrate.
+        omega: leader oracle for this process's group; ``None`` pins the
+            initial leader (no primary changes possible).
+        physical_clock: loosely synchronized clock, required when
+            ``hybrid_clock`` is set.
+        hybrid_clock: enable the §6 proposal rule.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        config: GroupConfig,
+        scheduler: Scheduler,
+        network: Network,
+        cost_model: Optional[CostModel] = None,
+        omega: Optional[OmegaOracle] = None,
+        physical_clock: Optional[PhysicalClock] = None,
+        hybrid_clock: bool = False,
+        relay: bool = False,
+        enable_bumps: bool = True,
+    ):
+        super().__init__(pid, scheduler, network, cost_model, relay=relay)
+        if pid not in config.group_of:
+            raise ValueError(f"pid {pid} is not a member of any group")
+        if hybrid_clock and physical_clock is None:
+            raise ValueError("hybrid_clock requires a physical_clock")
+        self.config = config
+        self.gid = config.group_of[pid]
+        self.group_members = config.members(self.gid)
+        self.physical_clock = physical_clock
+        self.hybrid_clock = hybrid_clock
+        # Ablation switch (§5.2.5): without bump messages, quorum-clock()
+        # cannot advance past remote timestamps and messages whose final
+        # timestamp comes from a remote group stall. Tests/benches only.
+        self.enable_bumps = enable_bumps
+
+        # --- Algorithm 1 state (lines 1-8) ---
+        leader0 = config.initial_leader(self.gid)
+        self.clock = 0
+        self.e_cur: Epoch = initial_epoch(leader0)
+        self.e_prom: Epoch = initial_epoch(leader0)
+        self.role = PRIMARY if leader0 == pid else FOLLOWER
+        self.delivered: Set[MessageId] = set()  # D
+        self.t_list: List[TEntry] = []  # T (sequence)
+        self.t_by_mid: Dict[MessageId, Tuple[Epoch, int]] = {}
+
+        # --- M, tracked incrementally ---
+        self.started: Dict[MessageId, Multicast] = {}
+        self.acks: Dict[MessageId, Dict[int, AckTracker]] = {}
+        self.clocks = ClockTracker(self.group_members)
+        self.my_acks: Set[Tuple[MessageId, Epoch, int]] = set()
+
+        # --- primary change bookkeeping (Algorithm 3) ---
+        self.promises: Dict[Epoch, Dict[int, EpochPromise]] = {}
+        self.accepts: Dict[Epoch, Set[int]] = {}
+        self._new_state_sent: Set[Epoch] = set()
+
+        # --- delivery bookkeeping ---
+        self.pending: Set[MessageId] = set()  # in T, not delivered
+        self._final_cache: Dict[MessageId, int] = {}
+        # Heap of (final_ts, mid) for pending messages whose final ts is
+        # decided; stale entries (delivered mids) are skipped lazily.
+        self._finals_heap: List[Tuple[int, MessageId]] = []
+        # Lazy min-heap of (min_ts lower bound, mid) over pending
+        # messages. min-ts is monotone (clocks and decided local
+        # timestamps only grow), so a stale key is a valid lower bound
+        # and entries are refreshed on demand.
+        self._min_heap: List[Tuple[int, MessageId]] = []
+        self.deliver_hooks: List[DeliverHook] = []
+        self.delivery_log: List[Tuple[MessageId, int, float]] = []
+
+        self._next_seq = 0
+        self.omega = omega
+        if omega is not None:
+            omega.subscribe(self._on_omega_output)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def a_multicast(self, dest: Iterable[int], payload: Any = None) -> Multicast:
+        """Atomically multicast ``payload`` to the destination groups.
+
+        Algorithm 2, line 31: r-multicast ⟨start, m⟩ to every process of
+        every destination group. Returns the multicast handle; delivery
+        is signalled through :attr:`deliver_hooks`.
+        """
+        mid = (self.pid, self._next_seq)
+        self._next_seq += 1
+        multicast = Multicast(mid, frozenset(dest), payload)
+        self.a_multicast_m(multicast)
+        return multicast
+
+    def a_multicast_m(self, multicast: Multicast) -> None:
+        """a-multicast a pre-built :class:`Multicast` (line 31)."""
+        for gid in multicast.dest:
+            if not 0 <= gid < self.config.n_groups:
+                raise ValueError(f"unknown destination group {gid}")
+        self.r_multicast(Start(multicast), self.config.dest_pids(multicast.dest))
+
+    def add_deliver_hook(self, hook: DeliverHook) -> None:
+        """Register ``hook(process, multicast, final_ts)`` on a-deliver."""
+        self.deliver_hooks.append(hook)
+
+    def compact_delivered(self) -> int:
+        """Release per-message tracking state of delivered messages.
+
+        The pseudocode's M grows forever; a deployment compacts it. Ack
+        trackers and cached finals of already-delivered messages are no
+        longer consulted (min-clock contributions were folded into the
+        incremental ClockTracker on receipt), so they can be dropped.
+        The T sequence, the delivered-set and the clock state are kept —
+        they feed epoch changes and duplicate suppression. A straggler
+        ack for a compacted message merely rebuilds an (unused) tracker.
+
+        Returns the number of messages whose state was released.
+        """
+        freed = 0
+        for mid in list(self._final_cache):
+            if mid in self.delivered:
+                self.acks.pop(mid, None)
+                del self._final_cache[mid]
+                freed += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # r-deliver dispatch
+    # ------------------------------------------------------------------
+
+    def on_r_deliver(self, origin: int, payload: Any) -> None:
+        if isinstance(payload, Ack):
+            self._on_ack(origin, payload)
+        elif isinstance(payload, Start):
+            self._on_start(origin, payload)
+        elif isinstance(payload, Bump):
+            self._on_bump(origin, payload)
+        elif isinstance(payload, NewEpoch):
+            self._on_new_epoch(origin, payload)
+        elif isinstance(payload, EpochPromise):
+            self._on_epoch_promise(origin, payload)
+        elif isinstance(payload, NewState):
+            self._on_new_state(origin, payload)
+        elif isinstance(payload, AcceptEpoch):
+            self._on_accept_epoch(origin, payload)
+        else:
+            raise TypeError(f"unexpected r-delivered payload: {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — timestamping
+    # ------------------------------------------------------------------
+
+    def _on_start(self, origin: int, start: Start) -> None:
+        """Lines 33-34 plus the standing proposal rule (line 35)."""
+        multicast = start.multicast
+        if multicast.mid not in self.started:
+            self.started[multicast.mid] = multicast
+            if self.role == PRIMARY and self._proposable(multicast):
+                self._propose(multicast)
+
+    def _proposable(self, multicast: Multicast) -> bool:
+        """Line 24: start seen, no local ts decided, not yet in T."""
+        if self.gid not in multicast.dest:
+            return False
+        if multicast.mid in self.t_by_mid:
+            return False
+        tracker = self.acks.get(multicast.mid, {}).get(self.gid)
+        return tracker is None or tracker.local_ts is None
+
+    def _propose(self, multicast: Multicast) -> None:
+        """Lines 36-39 (with the §6 hybrid-clock rule when enabled)."""
+        if self.hybrid_clock:
+            self.clock = max(self.clock + 1, self.physical_clock.read_us())
+        else:
+            self.clock += 1
+        self._t_append(self.e_cur, multicast, self.clock)
+        self._send_ack(multicast, self.e_cur, self.clock)
+
+    def _t_append(self, epoch: Epoch, multicast: Multicast, ts: int) -> None:
+        mid = multicast.mid
+        self.t_list.append((epoch, multicast, ts))
+        self.t_by_mid[mid] = (epoch, ts)
+        self.started.setdefault(mid, multicast)
+        if mid not in self.delivered:
+            self.pending.add(mid)
+            # Seed the lazy heaps; the bound is refreshed on demand.
+            heapq.heappush(self._min_heap, (0, mid))
+            final = self._final_cache.get(mid)
+            if final is not None:
+                heapq.heappush(self._finals_heap, (final, mid))
+            else:
+                # Computes, caches and enqueues the final timestamp if
+                # all local timestamps happen to be decided already.
+                self.final_ts(mid)
+
+    def _send_ack(self, multicast: Multicast, epoch: Epoch, ts: int) -> None:
+        self.my_acks.add((multicast.mid, epoch, ts))
+        ack = Ack(multicast, self.gid, epoch, ts, self.pid)
+        self.r_multicast(ack, self.config.dest_pids(multicast.dest))
+
+    def _on_ack(self, origin: int, ack: Ack) -> None:
+        """Lines 40-45 (own group) and 46-50 (remote group)."""
+        multicast = ack.multicast
+        mid = multicast.mid
+        # A remote ack doubles as a start tuple (line 47); for own-group
+        # acks the multicast object it carries is the same payload, so
+        # storing it is equivalent to having r-delivered the start.
+        self.started.setdefault(mid, multicast)
+        tracker = self.acks.setdefault(mid, {}).setdefault(ack.group, AckTracker())
+        decided_now = tracker.add_ack(
+            self.config, ack.group, ack.epoch, ack.ts, ack.sender, mid
+        )
+        changed = False
+        if ack.group == self.gid:
+            # Clock value implicitly propagated inside the group (§5.2.4).
+            changed = self.clocks.observe(self.e_cur, ack.epoch, ack.ts, ack.sender)
+            if (
+                ack.sender == ack.epoch.leader
+                and ack.epoch == self.e_cur
+                and self.role == FOLLOWER
+                and mid not in self.t_by_mid
+            ):
+                # Accept the primary's proposal and echo our own ack
+                # (lines 42-45).
+                self._t_append(self.e_cur, multicast, ack.ts)
+                if ack.ts > self.clock:
+                    self.clock = ack.ts
+                self._send_ack(multicast, self.e_cur, ack.ts)
+        else:
+            # Remote ack: raise our clock and tell the group (lines 48-50).
+            if ack.ts > self.clock:
+                self.clock = ack.ts
+                if self.enable_bumps:
+                    self.r_multicast(
+                        Bump(self.e_prom, self.clock, self.pid), self.group_members
+                    )
+            if self.role == PRIMARY and self._proposable(multicast):
+                # The piggybacked start makes m proposable (line 35).
+                self._propose(multicast)
+        if decided_now:
+            # Cache (and enqueue for delivery) the final timestamp as
+            # soon as the last local timestamp is decided.
+            self.final_ts(mid)
+        if decided_now or changed:
+            self._try_deliver()
+
+    def _on_bump(self, origin: int, bump: Bump) -> None:
+        """Lines 51-52: record the clock observation."""
+        if self.clocks.observe(self.e_cur, bump.epoch, bump.ts, bump.sender):
+            self._try_deliver()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — predicates (incremental forms)
+    # ------------------------------------------------------------------
+
+    def final_ts(self, mid: MessageId) -> Optional[int]:
+        """Line 12: max of all local timestamps once every destination
+        group's local ts is decided, else None (⊥)."""
+        cached = self._final_cache.get(mid)
+        if cached is not None:
+            return cached
+        multicast = self.started.get(mid)
+        if multicast is None:
+            return None
+        trackers = self.acks.get(mid)
+        if trackers is None:
+            return None
+        final = 0
+        for gid in multicast.dest:
+            tracker = trackers.get(gid)
+            if tracker is None or tracker.local_ts is None:
+                return None
+            if tracker.local_ts > final:
+                final = tracker.local_ts
+        self._final_cache[mid] = final
+        if mid in self.pending:
+            heapq.heappush(self._finals_heap, (final, mid))
+        return final
+
+    def local_ts(self, mid: MessageId, gid: int) -> Optional[int]:
+        """Line 9: the decided local timestamp of ``mid`` in group
+        ``gid``, or None (⊥)."""
+        tracker = self.acks.get(mid, {}).get(gid)
+        return None if tracker is None else tracker.local_ts
+
+    def min_clock(self, pid: int) -> int:
+        """Line 15 (for members of this process's group)."""
+        return self.clocks.min_clock(pid)
+
+    def quorum_clock(self) -> int:
+        """Line 17: lower bound for the starting clock of any epoch
+        higher than E_cur, via quorum intersection."""
+        return self.config.quorum_clock_value(self.gid, self.clocks.values)
+
+    def min_ts(self, mid: MessageId) -> Tuple[int, ...]:
+        """Line 19: lower bound for final-ts(mid). Public wrapper used by
+        tests; delivery uses the inlined version."""
+        leader_clock = self.clocks.min_clock(self.e_cur.leader)
+        qclock = self.quorum_clock()
+        return self._min_ts(mid, leader_clock, qclock)
+
+    def _min_ts(self, mid: MessageId, leader_clock: int, qclock: int) -> int:
+        multicast = self.started[mid]
+        known_max = 0
+        trackers = self.acks.get(mid)
+        if trackers is not None:
+            for gid in multicast.dest:
+                tracker = trackers.get(gid)
+                if tracker is not None and tracker.local_ts is not None:
+                    if tracker.local_ts > known_max:
+                        known_max = tracker.local_ts
+        entry = self.t_by_mid.get(mid)
+        t_ts = entry[1] if entry is not None else None
+        lower = min(
+            t_ts if t_ts is not None else float("inf"),
+            1 + leader_clock,
+            1 + qclock,
+        )
+        return max(known_max, lower)
+
+    # ------------------------------------------------------------------
+    # delivery (lines 26-30 and 53-56)
+    # ------------------------------------------------------------------
+
+    def _pending_min_excluding(
+        self, exclude: MessageId, leader_clock: int, qclock: int
+    ) -> Optional[Tuple[int, MessageId]]:
+        """Smallest ``(min-ts, mid)`` over pending messages other than
+        ``exclude``, via the lazy heap.
+
+        Heap keys are lower bounds of the (monotone) min-ts values:
+        stale tops are recomputed and pushed back until the top is
+        current. Entries for delivered messages are dropped.
+        """
+        heap = self._min_heap
+        set_aside: List[Tuple[int, MessageId]] = []
+        result: Optional[Tuple[int, MessageId]] = None
+        while heap:
+            bound, mid = heap[0]
+            if mid not in self.pending:
+                heapq.heappop(heap)
+                continue
+            if mid == exclude:
+                set_aside.append(heapq.heappop(heap))
+                continue
+            current = self._min_ts(mid, leader_clock, qclock)
+            if current > bound:
+                heapq.heapreplace(heap, (current, mid))
+                continue
+            result = (bound, mid)
+            break
+        for entry in set_aside:
+            heapq.heappush(heap, entry)
+        return result
+
+    def _try_deliver(self) -> None:
+        """Deliver every message whose ``deliverable`` predicate holds.
+
+        It suffices to repeatedly examine the pending message with the
+        smallest ``(final-ts, id)``: if that one is not deliverable, no
+        other pending message can be — line 30 would fail against it,
+        since min-ts(m) <= final-ts(m) for every pending m.
+        """
+        if self.role not in (PRIMARY, FOLLOWER):
+            return
+        finals = self._finals_heap
+        if not finals:
+            return
+        leader_clock = self.clocks.min_clock(self.e_cur.leader)
+        qclock = self.quorum_clock()
+        while finals:
+            best_final, best_mid = finals[0]
+            if best_mid not in self.pending:
+                heapq.heappop(finals)
+                continue
+            # Lines 28-29: no new proposal in E_cur or in any later
+            # epoch may be smaller than final-ts(m).
+            if best_final > leader_clock or best_final > qclock:
+                return
+            # Line 30: strictly smaller than the smallest possible
+            # timestamp of any other pending message.
+            other = self._pending_min_excluding(best_mid, leader_clock, qclock)
+            if other is not None and (best_final, best_mid) >= other:
+                return
+            heapq.heappop(finals)
+            self._deliver(best_mid, best_final)
+
+    def _deliver(self, mid: MessageId, final: int) -> None:
+        """Lines 54-56."""
+        self.delivered.add(mid)
+        self.pending.discard(mid)
+        multicast = self.started[mid]
+        self.delivery_log.append((mid, final, self.scheduler.now))
+        for hook in self.deliver_hooks:
+            hook(self, multicast, final)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — primary change
+    # ------------------------------------------------------------------
+
+    def _on_omega_output(self, gid: int, leader_pid: int) -> None:
+        """Line 57: when Ω outputs us and we are not primary/candidate,
+        start an epoch change."""
+        if self.crashed:
+            return
+        if leader_pid == self.pid and self.role not in (PRIMARY, CANDIDATE):
+            self._start_epoch_change()
+
+    def _start_epoch_change(self) -> None:
+        """Lines 58-60."""
+        self.role = CANDIDATE
+        self.e_prom = self.e_prom.next_for(self.pid)
+        self.r_multicast(NewEpoch(self.e_prom), self.group_members)
+
+    def _on_new_epoch(self, origin: int, msg: NewEpoch) -> None:
+        """Lines 61-64."""
+        epoch = msg.epoch
+        if epoch < self.e_prom:
+            return
+        if self.pid != epoch.leader:
+            self.role = PROMISED
+        self.e_prom = epoch
+        promise = EpochPromise(epoch, self.pid, self.clock, self.e_cur, list(self.t_list))
+        self.r_multicast(promise, [epoch.leader])
+
+    def _on_epoch_promise(self, origin: int, msg: EpochPromise) -> None:
+        """Lines 65-69."""
+        if self.role != CANDIDATE or msg.epoch != self.e_prom:
+            return
+        if msg.epoch in self._new_state_sent:
+            return
+        bucket = self.promises.setdefault(msg.epoch, {})
+        bucket[msg.sender] = msg
+        if not self.config.has_quorum(self.gid, bucket.keys()):
+            return
+        promises = list(bucket.values())
+        e_max = max(p.e_cur for p in promises)
+        candidates = [p for p in promises if p.e_cur == e_max]
+        t_max = max(candidates, key=lambda p: len(p.t_seq)).t_seq
+        start_ts = max(p.clock for p in promises)
+        self._new_state_sent.add(msg.epoch)
+        self.r_multicast(NewState(msg.epoch, list(t_max), start_ts), self.group_members)
+
+    def _on_new_state(self, origin: int, msg: NewState) -> None:
+        """Lines 70-74."""
+        if msg.epoch != self.e_prom:
+            return
+        self.t_list = list(msg.t_seq)
+        self.t_by_mid = {m.mid: (epoch, ts) for epoch, m, ts in self.t_list}
+        self.pending = {
+            m.mid for _, m, _ in self.t_list if m.mid not in self.delivered
+        }
+        for _, multicast, _ in self.t_list:
+            self.started.setdefault(multicast.mid, multicast)
+        # Rebuild the delivery heaps: the epoch (and hence the leader the
+        # min-ts bound depends on) changed, so old bounds are void.
+        self._min_heap = [(0, mid) for mid in self.pending]
+        heapq.heapify(self._min_heap)
+        self._finals_heap = [
+            (self._final_cache[mid], mid)
+            for mid in self.pending
+            if mid in self._final_cache
+        ]
+        heapq.heapify(self._finals_heap)
+        for mid in self.pending:
+            if mid not in self._final_cache:
+                self.final_ts(mid)
+        self.e_cur = msg.epoch
+        self.clocks.advance_epoch(self.e_cur)
+        if msg.ts > self.clock:
+            self.clock = msg.ts
+        self.r_multicast(AcceptEpoch(self.e_cur, self.pid), self.group_members)
+        self._check_epoch_activation()
+
+    def _on_accept_epoch(self, origin: int, msg: AcceptEpoch) -> None:
+        """Collect accepts; lines 75-81 re-checked."""
+        self.accepts.setdefault(msg.epoch, set()).add(msg.sender)
+        self._check_epoch_activation()
+
+    def _check_epoch_activation(self) -> None:
+        """Lines 75-81: once at E_cur = E_prom with a quorum of accepts,
+        assume the follower/primary role and (re)send missing acks for
+        every tuple in T, in T's order."""
+        if self.role not in (PROMISED, CANDIDATE):
+            return
+        if self.e_cur != self.e_prom:
+            return
+        if not self.config.has_quorum(self.gid, self.accepts.get(self.e_cur, ())):
+            return
+        self.role = FOLLOWER if self.role == PROMISED else PRIMARY
+        for epoch, multicast, ts in self.t_list:
+            if (multicast.mid, epoch, ts) not in self.my_acks:
+                self._send_ack(multicast, epoch, ts)
+        if self.role == PRIMARY:
+            # Standing rule (line 35): propose everything proposable.
+            for multicast in list(self.started.values()):
+                if self._proposable(multicast):
+                    self._propose(multicast)
+        self._try_deliver()

@@ -1,0 +1,121 @@
+"""Incremental trackers behind PrimCast's predicates (Algorithm 1).
+
+The paper defines ``local-ts``, ``min-clock`` and ``quorum-clock`` as
+scans over the tuple set ``M``. Scanning M on every event would be
+quadratic, so the process keeps these trackers incrementally up to date;
+:mod:`repro.core.spec` holds the literal scan-based definitions and the
+test suite checks the two agree on random traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import GroupConfig
+from .epoch import Epoch
+from .messages import MessageId
+
+
+class SafetyViolationError(AssertionError):
+    """Raised when tracked state contradicts a protocol invariant —
+    e.g. two different timestamps acknowledged for one message in one
+    epoch. Never raised in a correct run; exists to fail loudly in tests
+    and fault-injection experiments."""
+
+
+class AckTracker:
+    """Tracks ack quorums for one (message, destination group) pair.
+
+    ``local-ts(m, h)`` (Algorithm 1, line 9) is decided once acks for
+    ``m`` from a quorum of ``h``, all from the same epoch, are in M.
+    """
+
+    __slots__ = ("by_epoch", "decided_epoch", "decided_ts")
+
+    def __init__(self) -> None:
+        # epoch -> (ts, set of acking pids)
+        self.by_epoch: Dict[Epoch, Tuple[int, Set[int]]] = {}
+        self.decided_epoch: Optional[Epoch] = None
+        self.decided_ts: Optional[int] = None
+
+    def add_ack(
+        self,
+        config: GroupConfig,
+        group: int,
+        epoch: Epoch,
+        ts: int,
+        sender: int,
+        mid: MessageId,
+    ) -> bool:
+        """Record an ack; returns True if this decided the local ts."""
+        entry = self.by_epoch.get(epoch)
+        if entry is None:
+            self.by_epoch[epoch] = (ts, {sender})
+            entry = self.by_epoch[epoch]
+        else:
+            if entry[0] != ts:
+                raise SafetyViolationError(
+                    f"conflicting ack timestamps for m={mid} in group {group} "
+                    f"epoch {epoch}: {entry[0]} vs {ts}"
+                )
+            entry[1].add(sender)
+        if self.decided_ts is not None:
+            return False
+        if config.has_quorum(group, entry[1]):
+            self.decided_epoch = epoch
+            self.decided_ts = entry[0]
+            return True
+        return False
+
+    @property
+    def local_ts(self) -> Optional[int]:
+        """The decided local timestamp, or None (⊥)."""
+        return self.decided_ts
+
+
+class ClockTracker:
+    """min-clock(q) values for the members of one group (line 15).
+
+    ``min-clock(q)`` is the highest clock value seen from ``q`` in acks
+    (own group) or bumps with epoch ≤ E_cur. Tuples from higher epochs
+    are buffered and folded in when E_cur advances — the spec's M keeps
+    everything and re-filters per E_cur; buffering is the incremental
+    equivalent.
+    """
+
+    __slots__ = ("values", "deferred")
+
+    def __init__(self, members: List[int]):
+        self.values: Dict[int, int] = {pid: 0 for pid in members}
+        # tuples (epoch, ts, sender) with epoch > E_cur at receipt time
+        self.deferred: List[Tuple[Epoch, int, int]] = []
+
+    def observe(self, e_cur: Epoch, epoch: Epoch, ts: int, sender: int) -> bool:
+        """Record a clock observation; returns True if min-clock grew."""
+        if epoch > e_cur:
+            self.deferred.append((epoch, ts, sender))
+            return False
+        if ts > self.values.get(sender, 0):
+            self.values[sender] = ts
+            return True
+        return False
+
+    def advance_epoch(self, e_cur: Epoch) -> bool:
+        """Fold in deferred tuples now that E_cur advanced to ``e_cur``;
+        returns True if any min-clock grew."""
+        if not self.deferred:
+            return False
+        still_deferred: List[Tuple[Epoch, int, int]] = []
+        changed = False
+        for epoch, ts, sender in self.deferred:
+            if epoch > e_cur:
+                still_deferred.append((epoch, ts, sender))
+            elif ts > self.values.get(sender, 0):
+                self.values[sender] = ts
+                changed = True
+        self.deferred = still_deferred
+        return changed
+
+    def min_clock(self, pid: int) -> int:
+        """min-clock(pid)."""
+        return self.values.get(pid, 0)

@@ -1,0 +1,5 @@
+"""Weak leader-election oracle Ω per group (§2.1)."""
+
+from .omega import LeaderCallback, OmegaOracle, make_oracles
+
+__all__ = ["OmegaOracle", "make_oracles", "LeaderCallback"]

@@ -1,0 +1,99 @@
+"""Weak leader-election oracle Ω (§2.1).
+
+Each group ``g`` has an oracle Ω_g that outputs one member of ``g`` at
+every process, with the property that eventually every correct process is
+given the same correct leader. In a partially synchronous system this is
+implementable with heartbeats [Aguilera et al., DISC'01]; in the
+simulation we implement it as a failure detector that periodically scans
+the group for crashed members and elects the lowest-pid correct process.
+The polling interval models detection delay: after a crash, the output
+changes within one interval, and subscribers are notified through their
+normal CPU queue (the oracle is local knowledge, not a network message).
+
+For stable-leader experiments (all of §7) polling can be disabled, making
+the oracle static and event-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.events import Scheduler
+from ..sim.process import SimProcess
+
+LeaderCallback = Callable[[int, int], None]  # (group_id, leader_pid)
+
+
+class OmegaOracle:
+    """Leader oracle for one group.
+
+    Args:
+        group_id: id of the group this oracle serves.
+        members: pids of the group members, in preference order (the
+            first correct one is elected).
+        processes: pid → process map, used to observe crashes.
+        scheduler: shared scheduler (for polling).
+        poll_interval_ms: crash-detection interval; ``None`` disables
+            detection and pins the initial leader forever.
+    """
+
+    def __init__(
+        self,
+        group_id: int,
+        members: List[int],
+        processes: Dict[int, SimProcess],
+        scheduler: Scheduler,
+        poll_interval_ms: Optional[float] = None,
+    ):
+        if not members:
+            raise ValueError("group must have at least one member")
+        self.group_id = group_id
+        self.members = list(members)
+        self.processes = processes
+        self.scheduler = scheduler
+        self.poll_interval_ms = poll_interval_ms
+        self.leader = members[0]
+        self._subscribers: List[LeaderCallback] = []
+        if poll_interval_ms is not None:
+            if poll_interval_ms <= 0:
+                raise ValueError("poll interval must be positive")
+            scheduler.call_after(poll_interval_ms, self._poll)
+
+    def subscribe(self, callback: LeaderCallback) -> None:
+        """Register ``callback(group_id, leader_pid)`` on output changes.
+
+        The callback fires immediately with the current output, matching
+        the oracle abstraction (Ω always has an output).
+        """
+        self._subscribers.append(callback)
+        callback(self.group_id, self.leader)
+
+    def _elect(self) -> int:
+        for pid in self.members:
+            proc = self.processes.get(pid)
+            if proc is not None and not proc.crashed:
+                return pid
+        # All members crashed; keep the last output (no correct process
+        # is left to care).
+        return self.leader
+
+    def _poll(self) -> None:
+        new_leader = self._elect()
+        if new_leader != self.leader:
+            self.leader = new_leader
+            for callback in self._subscribers:
+                callback(self.group_id, new_leader)
+        self.scheduler.call_after(self.poll_interval_ms, self._poll)
+
+
+def make_oracles(
+    groups: List[List[int]],
+    processes: Dict[int, SimProcess],
+    scheduler: Scheduler,
+    poll_interval_ms: Optional[float] = None,
+) -> Dict[int, OmegaOracle]:
+    """Create one Ω oracle per group; returns group_id → oracle."""
+    return {
+        gid: OmegaOracle(gid, members, processes, scheduler, poll_interval_ms)
+        for gid, members in enumerate(groups)
+    }

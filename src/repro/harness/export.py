@@ -1,0 +1,81 @@
+"""Result export: CSV and JSON serialization of experiment runs.
+
+The benches print human-readable tables; this module writes the same
+data in machine-readable form so results can be archived, diffed across
+runs, or plotted with external tooling (the repository itself stays
+dependency-free).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .runner import RunResult
+
+#: Column order for CSV export.
+CSV_FIELDS = (
+    "protocol",
+    "scenario",
+    "n_dest_groups",
+    "outstanding",
+    "throughput",
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "samples",
+    "events",
+)
+
+
+def result_row(result: RunResult) -> Dict[str, object]:
+    """Flatten one RunResult into a CSV/JSON-friendly dict."""
+    return {
+        "protocol": result.protocol,
+        "scenario": result.scenario,
+        "n_dest_groups": result.n_dest_groups,
+        "outstanding": result.outstanding,
+        "throughput": result.throughput,
+        "mean_ms": result.latency.get("mean", 0.0),
+        "p50_ms": result.latency.get("p50", 0.0),
+        "p95_ms": result.latency.get("p95", 0.0),
+        "p99_ms": result.latency.get("p99", 0.0),
+        "samples": int(result.latency.get("count", 0)),
+        "events": result.events,
+    }
+
+
+def write_csv(path: str, results: Iterable[RunResult]) -> None:
+    """Write a sweep's results to ``path`` as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result_row(result))
+
+
+def write_json(path: str, results: Iterable[RunResult]) -> None:
+    """Write a sweep's results to ``path`` as a JSON array."""
+    with open(path, "w") as handle:
+        json.dump([result_row(r) for r in results], handle, indent=2)
+        handle.write("\n")
+
+
+def write_cdf_csv(
+    path: str, curves: Dict[str, List[Tuple[float, float]]]
+) -> None:
+    """Write Figure 5-style CDF curves: series, latency_ms, fraction."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "latency_ms", "fraction"])
+        for series in sorted(curves):
+            for latency, fraction in curves[series]:
+                writer.writerow([series, latency, fraction])
+
+
+def read_csv(path: str) -> List[Dict[str, str]]:
+    """Round-trip helper (used by tests and comparisons)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

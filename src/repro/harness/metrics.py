@@ -1,0 +1,55 @@
+"""Latency/throughput statistics for experiment runs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") method; implemented locally so the
+    core library stays dependency-free.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    # a + (b - a) * f rather than a*(1-f) + b*f: the latter can exceed
+    # max(a, b) by one ulp when a == b (caught by hypothesis).
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean and the percentiles the paper reports (p50/p95/p99)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+    }
+
+
+def cdf_points(values: Sequence[float], n_points: int = 100) -> List[Tuple[float, float]]:
+    """(latency, cumulative fraction) pairs for plotting a CDF (Fig 5)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    if n <= n_points:
+        return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+    points = []
+    for i in range(n_points):
+        idx = min(n - 1, int(round((i + 1) / n_points * n)) - 1)
+        points.append((ordered[idx], (idx + 1) / n))
+    return points

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results (the benches' output)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .runner import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with padded columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-" * len(line)
+    out = [line, sep]
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def throughput_latency_rows(results: List[RunResult]) -> List[List[str]]:
+    """Rows in the shape of the paper's throughput/latency figures."""
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.protocol,
+                str(r.n_dest_groups),
+                str(r.outstanding),
+                f"{r.throughput_kmsgs:.2f}",
+                f"{r.latency['p50']:.2f}",
+                f"{r.latency['p95']:.2f}",
+                f"{r.latency['mean']:.2f}",
+                str(int(r.latency["count"])),
+            ]
+        )
+    return rows
+
+
+THROUGHPUT_HEADERS = [
+    "protocol",
+    "dests",
+    "outstanding",
+    "tput (k msg/s)",
+    "p50 (ms)",
+    "p95 (ms)",
+    "mean (ms)",
+    "samples",
+]
+
+
+def print_results(title: str, results: List[RunResult]) -> None:
+    """Print one figure's curve data."""
+    print(f"\n== {title} ==")
+    print(format_table(THROUGHPUT_HEADERS, throughput_latency_rows(results)))
+
+
+def max_throughput_by_protocol(results: List[RunResult]) -> Dict[str, float]:
+    """Peak measured throughput (msg/s) per protocol in a sweep."""
+    best: Dict[str, float] = {}
+    for r in results:
+        best[r.protocol] = max(best.get(r.protocol, 0.0), r.throughput)
+    return best

@@ -1,0 +1,192 @@
+"""Experiment runner: build a system, drive a workload, collect stats.
+
+The runner is the glue between the substrates: it instantiates a
+scenario (Table 2), one protocol process per replica, loosely
+synchronized clocks for the HC variant, closed-loop clients, and runs the
+simulation for a warmup + measurement window. Throughput counts each
+client message once (at its issuing client); latency is measured at the
+client, from submission to a-delivery at its replica — both exactly as
+§7.2 defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..baselines.fastcast import FastCastProcess
+from ..baselines.whitebox import WhiteBoxProcess
+from ..core.config import GroupConfig
+from ..core.process import PrimCastProcess
+from ..election.omega import OmegaOracle, make_oracles
+from ..sim.clock import make_clocks
+from ..sim.costs import CostModel, default_cost_model
+from ..sim.events import Scheduler
+from ..sim.network import Network
+from ..sim.rng import child_rng
+from ..workload.generator import Client, make_clients
+from ..workload.scenarios import Scenario
+from .metrics import summarize
+
+#: Names accepted by :func:`build_system` / :func:`run_load_point`.
+PROTOCOLS = ("primcast", "primcast-hc", "whitebox", "fastcast")
+
+
+@dataclass
+class System:
+    """A fully wired simulated deployment."""
+
+    protocol: str
+    scenario: Scenario
+    scheduler: Scheduler
+    network: Network
+    config: GroupConfig
+    processes: Dict[int, Any]
+    oracles: Optional[Dict[int, OmegaOracle]] = None
+
+    @property
+    def replicas(self) -> List[Any]:
+        return [self.processes[pid] for pid in self.config.all_pids]
+
+
+def build_system(
+    protocol: str,
+    scenario: Scenario,
+    seed: int = 1,
+    cost_model: Optional[CostModel] = None,
+    omega_poll_ms: Optional[float] = None,
+    epsilon_ms: Optional[float] = None,
+) -> System:
+    """Instantiate one protocol deployment on one scenario.
+
+    Args:
+        protocol: one of :data:`PROTOCOLS`.
+        seed: root seed; all randomness derives from it.
+        cost_model: CPU cost model (defaults to the calibrated one).
+        omega_poll_ms: enable crash detection for PrimCast's Ω with this
+            polling interval (None = static leaders, no failure handling
+            needed for stable-leader experiments).
+        epsilon_ms: clock skew bound override for the HC variant.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
+    config = scenario.make_config()
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, scenario.make_latency(config), child_rng(seed, "latency")
+    )
+    costs = cost_model if cost_model is not None else default_cost_model()
+
+    processes: Dict[int, Any] = {}
+    oracles: Optional[Dict[int, OmegaOracle]] = None
+    if protocol in ("primcast", "primcast-hc"):
+        hybrid = protocol == "primcast-hc"
+        eps = epsilon_ms if epsilon_ms is not None else scenario.epsilon_ms
+        clocks = make_clocks(
+            scheduler, config.all_pids, eps, child_rng(seed, "clock-skew")
+        )
+        # Build processes first, then oracles (oracles observe processes).
+        for pid in config.all_pids:
+            processes[pid] = PrimCastProcess(
+                pid,
+                config,
+                scheduler,
+                network,
+                costs,
+                omega=None,
+                physical_clock=clocks[pid],
+                hybrid_clock=hybrid,
+            )
+        if omega_poll_ms is not None:
+            oracles = make_oracles(config.groups, processes, scheduler, omega_poll_ms)
+            for pid, proc in processes.items():
+                proc.omega = oracles[config.group_of[pid]]
+                proc.omega.subscribe(proc._on_omega_output)
+    elif protocol == "whitebox":
+        for pid in config.all_pids:
+            processes[pid] = WhiteBoxProcess(pid, config, scheduler, network, costs)
+    else:  # fastcast
+        for pid in config.all_pids:
+            processes[pid] = FastCastProcess(pid, config, scheduler, network, costs)
+
+    return System(protocol, scenario, scheduler, network, config, processes, oracles)
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one load point."""
+
+    protocol: str
+    scenario: str
+    n_dest_groups: int
+    outstanding: int
+    #: delivered client messages per second (each counted once)
+    throughput: float
+    #: latency stats in ms over all clients (mean/p50/p95/p99/count)
+    latency: Dict[str, float]
+    #: per-sample latencies (client pid, deliver time, latency ms)
+    samples: List[Tuple[int, float, float]] = field(repr=False, default_factory=list)
+    #: wire messages by kind over the whole run
+    message_counts: Dict[str, int] = field(default_factory=dict)
+    events: int = 0
+
+    @property
+    def throughput_kmsgs(self) -> float:
+        """Throughput in thousands of msg/s (the paper's x axis)."""
+        return self.throughput / 1000.0
+
+    def latencies_for(self, pids: Set[int]) -> List[float]:
+        """Latency samples restricted to clients at the given replicas
+        (used to isolate White-Box leader deliveries in Fig 5)."""
+        return [lat for pid, _, lat in self.samples if pid in pids]
+
+
+def run_load_point(
+    protocol: str,
+    scenario: Scenario,
+    n_dest_groups: int,
+    outstanding: int,
+    seed: int = 1,
+    warmup_ms: float = 500.0,
+    measure_ms: float = 1000.0,
+    cost_model: Optional[CostModel] = None,
+    epsilon_ms: Optional[float] = None,
+    keep_samples: bool = True,
+) -> RunResult:
+    """Run one (protocol, scenario, destinations, load) point.
+
+    Clients issue messages from t=0; samples delivered inside
+    ``[warmup_ms, warmup_ms + measure_ms)`` are counted.
+    """
+    system = build_system(
+        protocol, scenario, seed=seed, cost_model=cost_model, epsilon_ms=epsilon_ms
+    )
+    rng = child_rng(seed, "workload")
+    clients = make_clients(
+        system.replicas, n_dest_groups, system.config.n_groups, outstanding, rng
+    )
+    for client in clients:
+        client.start()
+    end = warmup_ms + measure_ms
+    system.scheduler.run(until=end)
+    for client in clients:
+        client.stop()
+
+    samples: List[Tuple[int, float, float]] = []
+    for client in clients:
+        for pid, when, lat in client.samples:
+            if warmup_ms <= when < end:
+                samples.append((pid, when, lat))
+    latencies = [lat for _, _, lat in samples]
+    throughput = len(samples) / (measure_ms / 1000.0)
+    return RunResult(
+        protocol=protocol,
+        scenario=scenario.name,
+        n_dest_groups=n_dest_groups,
+        outstanding=outstanding,
+        throughput=throughput,
+        latency=summarize(latencies),
+        samples=samples if keep_samples else [],
+        message_counts=dict(system.network.counts_by_kind),
+        events=system.scheduler.events_processed,
+    )

@@ -1,0 +1,5 @@
+"""FIFO non-uniform reliable multicast (the paper's §2.2 primitives)."""
+
+from .fifo import Envelope, FifoReliableMulticast, RMcastProcess
+
+__all__ = ["Envelope", "FifoReliableMulticast", "RMcastProcess"]

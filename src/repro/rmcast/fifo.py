@@ -1,0 +1,145 @@
+"""FIFO non-uniform reliable multicast (§2.2).
+
+PrimCast and the baselines communicate exclusively through
+``r-multicast`` / ``r-deliver``. The properties required are Validity,
+Integrity, Non-uniform agreement and FIFO order; non-uniformity permits
+one-communication-step implementations [Hadzilacos & Toueg 94], which is
+what the paper's latency arithmetic assumes.
+
+Implementation notes:
+
+* FIFO order comes from the per-pair FIFO channels of the simulated
+  network (the prototype relies on TCP the same way, §7.1).
+* Integrity (deliver at most once, only if multicast) is enforced with a
+  per-origin sequence number and a duplicate filter.
+* Non-uniform agreement: with reliable channels, direct per-destination
+  sends suffice while the sender is correct; messages multicast by a
+  process that crashes mid-send may be lost, which non-uniform agreement
+  allows. An optional *relay* mode re-forwards every first delivery to
+  the remaining destinations, making delivery resilient to sender crashes
+  at the cost of redundant traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
+
+from ..sim.costs import CostModel
+from ..sim.events import Scheduler
+from ..sim.network import Network
+from ..sim.process import SimProcess
+
+
+class Envelope:
+    """Wire wrapper for an r-multicast payload.
+
+    Exposes the payload's ``kind`` so the CPU cost model charges for the
+    actual protocol message being carried.
+    """
+
+    __slots__ = ("origin", "seq", "payload", "dests", "relayed")
+
+    def __init__(self, origin: int, seq: int, payload: Any, dests: Tuple[int, ...], relayed: bool = False):
+        self.origin = origin
+        self.seq = seq
+        self.payload = payload
+        self.dests = dests
+        self.relayed = relayed
+
+    @property
+    def kind(self) -> str:
+        return getattr(self.payload, "kind", "rm")
+
+    @property
+    def mid(self):
+        """Multicast id of the payload if it has one (for tracing)."""
+        return getattr(self.payload, "mid", None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Envelope {self.origin}:{self.seq} {self.kind}>"
+
+
+class FifoReliableMulticast:
+    """Per-process endpoint of the reliable multicast layer.
+
+    Args:
+        owner: the process this endpoint belongs to.
+        relay: enable crash-resilient relaying of first deliveries.
+    """
+
+    def __init__(self, owner: SimProcess, relay: bool = False):
+        self.owner = owner
+        self.relay = relay
+        self._next_seq = 0
+        self._delivered: Set[Tuple[int, int]] = set()
+
+    def multicast(self, payload: Any, dests: Iterable[int]) -> None:
+        """r-multicast ``payload`` to process ids ``dests``.
+
+        The sender delivers its own message too when it is a destination
+        (self-channel, zero latency).
+        """
+        dests = tuple(dests)
+        env = Envelope(self.owner.pid, self._next_seq, payload, dests)
+        self._next_seq += 1
+        for dst in dests:
+            self.owner.send(dst, env)
+
+    def handle(self, src: int, env: Envelope) -> Optional[Tuple[int, Any]]:
+        """Process an incoming envelope.
+
+        Returns ``(origin, payload)`` exactly once per multicast (the
+        r-delivery), or ``None`` for duplicates.
+        """
+        key = (env.origin, env.seq)
+        if key in self._delivered:
+            return None
+        self._delivered.add(key)
+        if self.relay and not env.relayed and env.origin != self.owner.pid:
+            fwd = Envelope(env.origin, env.seq, env.payload, env.dests, relayed=True)
+            for dst in env.dests:
+                if dst != self.owner.pid and dst != env.origin:
+                    self.owner.send(dst, fwd)
+        return env.origin, env.payload
+
+
+class RMcastProcess(SimProcess):
+    """A simulated process that communicates via reliable multicast.
+
+    Subclasses implement :meth:`on_r_deliver`; everything arriving over
+    the network is unwrapped and deduplicated by the rmcast endpoint.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        scheduler: Scheduler,
+        network: Network,
+        cost_model: Optional[CostModel] = None,
+        relay: bool = False,
+    ):
+        super().__init__(pid, scheduler, network, cost_model)
+        self.rm = FifoReliableMulticast(self, relay=relay)
+
+    def r_multicast(self, payload: Any, dests: Iterable[int]) -> None:
+        """r-multicast ``payload`` to the given process ids."""
+        self.rm.multicast(payload, dests)
+
+    def on_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, Envelope):
+            result = self.rm.handle(src, msg)
+            if result is not None:
+                origin, payload = result
+                self.on_r_deliver(origin, payload)
+        else:
+            self.on_raw_message(src, msg)
+
+    def on_r_deliver(self, origin: int, payload: Any) -> None:
+        """Handle an r-delivered payload. Override in subclasses."""
+        raise NotImplementedError
+
+    def on_raw_message(self, src: int, msg: Any) -> None:
+        """Handle a non-rmcast message (e.g. client requests)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} got unexpected raw message {msg!r}"
+        )

@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This package is the "testbed" the reproduction runs on, replacing the
+paper's physical cluster + Linux ``tc`` WAN emulation:
+
+* :mod:`repro.sim.events` — deterministic event scheduler.
+* :mod:`repro.sim.network` — reliable, per-pair FIFO channels with
+  pluggable latency models and fault injection.
+* :mod:`repro.sim.latency` — constant / jittered / site-matrix latencies.
+* :mod:`repro.sim.process` — processes with a single-server CPU queue.
+* :mod:`repro.sim.costs` — per-message CPU cost model (drives saturation).
+* :mod:`repro.sim.clock` — loosely synchronized physical clocks (§6).
+* :mod:`repro.sim.failures` — crash injection.
+"""
+
+from .clock import PhysicalClock, make_clocks
+from .costs import CostModel, default_cost_model, zero_cost_model
+from .events import EventHandle, Scheduler
+from .failures import FailureInjector, max_failures
+from .latency import ConstantLatency, JitteredLatency, LatencyModel, SiteMatrixLatency
+from .network import Network
+from .process import SimProcess
+from .rng import child_rng, child_seed
+from .trace import Flight, record_flights, render_exchanges
+
+__all__ = [
+    "Scheduler",
+    "EventHandle",
+    "Network",
+    "SimProcess",
+    "CostModel",
+    "default_cost_model",
+    "zero_cost_model",
+    "LatencyModel",
+    "ConstantLatency",
+    "JitteredLatency",
+    "SiteMatrixLatency",
+    "PhysicalClock",
+    "make_clocks",
+    "FailureInjector",
+    "max_failures",
+    "child_rng",
+    "child_seed",
+    "Flight",
+    "record_flights",
+    "render_exchanges",
+]

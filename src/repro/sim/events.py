@@ -1,0 +1,130 @@
+"""Discrete-event scheduler.
+
+The scheduler is the heart of the simulation substrate: every network
+delivery, timer and client action is an event on a single priority queue.
+Simulated time is a float in **milliseconds**. Determinism is guaranteed by
+breaking ties on an insertion sequence number, so two runs with the same
+seed produce identical event orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class EventHandle:
+    """Handle returned by :meth:`Scheduler.call_at`, usable to cancel.
+
+    The scheduler's heap holds plain ``(time, seq, handle)`` tuples so
+    ordering is decided by C-level float/int comparisons; the handle
+    itself is never compared.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler.
+
+    Usage::
+
+        sched = Scheduler()
+        sched.call_after(1.5, handler, arg1, arg2)
+        sched.run(until=100.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: List[tuple] = []
+        self._events_processed = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return before the next event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of armed (non-cancelled) events still queued."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events in order until the queue drains.
+
+        Args:
+            until: if given, stop once the next event would fire strictly
+                after this time; ``now`` is advanced to ``until``.
+            max_events: if given, stop after executing this many events
+                (safety valve against runaway simulations).
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        self._stopped = False
+        executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and not self._stopped:
+            time, _, event = heap[0]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heappop(heap)
+            self._now = time
+            event.fn(*event.args)
+            self._events_processed += 1
+            executed += 1
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now

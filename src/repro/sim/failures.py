@@ -1,0 +1,63 @@
+"""Failure injection.
+
+The model (§2.1) allows crash failures only: a faulty process stops
+taking steps and never recovers. Quorum assumptions require that at least
+one quorum per group contains no faulty process; the helpers here keep
+injected failures within that budget unless explicitly overridden.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence
+
+from .events import Scheduler
+from .process import SimProcess
+
+
+class FailureInjector:
+    """Schedules crashes against a set of processes.
+
+    Args:
+        scheduler: shared event scheduler.
+        processes: pid → process map (e.g. ``network.processes``).
+    """
+
+    def __init__(self, scheduler: Scheduler, processes: Dict[int, SimProcess]):
+        self.scheduler = scheduler
+        self.processes = processes
+        self.crashed_pids: List[int] = []
+
+    def crash_at(self, pid: int, time_ms: float) -> None:
+        """Crash ``pid`` at absolute simulated time ``time_ms``."""
+        if pid not in self.processes:
+            raise KeyError(f"unknown pid {pid}")
+        self.scheduler.call_at(time_ms, self._crash_now, pid)
+
+    def _crash_now(self, pid: int) -> None:
+        proc = self.processes[pid]
+        if not proc.crashed:
+            proc.crash()
+            self.crashed_pids.append(pid)
+
+    def crash_random(
+        self,
+        candidates: Sequence[int],
+        time_ms: float,
+        rng: random.Random,
+    ) -> int:
+        """Crash one process chosen uniformly from ``candidates``."""
+        pid = rng.choice(list(candidates))
+        self.crash_at(pid, time_ms)
+        return pid
+
+
+def max_failures(group_size: int) -> int:
+    """Crash budget for a majority-quorum group of ``group_size``.
+
+    With quorums of size ``floor(n/2) + 1``, up to ``ceil(n/2) - 1``
+    processes may fail while one all-correct quorum remains.
+    """
+    if group_size < 1:
+        raise ValueError("group size must be positive")
+    return (group_size - 1) // 2

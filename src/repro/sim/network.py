@@ -1,0 +1,151 @@
+"""Simulated message-passing network.
+
+Channels are pairwise, reliable and FIFO (the paper's prototype relies on
+TCP, §7.1): messages between a given ``(src, dst)`` pair are delivered in
+send order even when sampled latencies would reorder them. Channels never
+create, corrupt or duplicate messages. A crashed process neither sends
+nor receives.
+
+The network also hosts the observability hooks used by the evaluation
+harness and the verification layer:
+
+* ``counts_by_kind`` — how many messages of each protocol kind were sent
+  (drives the Table 1 message-complexity measurements).
+* ``trace_hooks`` — callbacks invoked on every send, used by the
+  genuineness checker to assert that only the sender and destinations of
+  a multicast exchange messages for it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .events import Scheduler
+from .latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import SimProcess
+
+TraceHook = Callable[[int, int, Any, float], None]
+
+#: Minimum spacing between two deliveries on one channel, used to preserve
+#: FIFO order when jitter would reorder messages (models TCP in-order
+#: delivery on one connection).
+_FIFO_EPSILON = 1e-9
+
+
+class Network:
+    """Routes messages between registered processes.
+
+    Args:
+        scheduler: the shared discrete-event scheduler.
+        latency: one-way latency model.
+        rng: RNG used for latency sampling (derive via
+            :func:`repro.sim.rng.child_rng` for determinism).
+    """
+
+    def __init__(self, scheduler: Scheduler, latency: LatencyModel, rng: random.Random):
+        self.scheduler = scheduler
+        self.latency = latency
+        self.rng = rng
+        self.processes: Dict[int, "SimProcess"] = {}
+        self.counts_by_kind: Counter = Counter()
+        self.messages_sent = 0
+        self.trace_hooks: List[TraceHook] = []
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._blocked_pairs: set = set()
+        # Messages caught by a partition. Channels are reliable (§2.1):
+        # before the GST traffic is *delayed*, not lost, so parked
+        # messages are released when the pair heals.
+        self._parked: List[Tuple[int, int, Any]] = []
+
+    def register(self, proc: "SimProcess") -> None:
+        """Attach a process; its pid must be unique."""
+        if proc.pid in self.processes:
+            raise ValueError(f"duplicate pid {proc.pid}")
+        self.processes[proc.pid] = proc
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        """Register ``hook(src, dst, msg, depart_time)`` on every send."""
+        self.trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def block_pair(self, a: int, b: int) -> None:
+        """Drop all traffic between a and b (both directions): partition."""
+        self._blocked_pairs.add((a, b))
+        self._blocked_pairs.add((b, a))
+
+    def unblock_pair(self, a: int, b: int) -> None:
+        """Heal a previously blocked pair; parked traffic is released."""
+        self._blocked_pairs.discard((a, b))
+        self._blocked_pairs.discard((b, a))
+        self._release_parked()
+
+    def partition(self, side_a: List[int], side_b: List[int]) -> None:
+        """Block all pairs across the two sides (traffic is delayed, not
+        lost — the pre-GST asynchrony of §2.1)."""
+        for a in side_a:
+            for b in side_b:
+                self.block_pair(a, b)
+
+    def heal(self) -> None:
+        """Remove all partitions and release parked traffic in order."""
+        self._blocked_pairs.clear()
+        self._release_parked()
+
+    def _release_parked(self) -> None:
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for src, dst, msg in parked:
+            if (src, dst) in self._blocked_pairs:
+                self._parked.append((src, dst, msg))
+            else:
+                self._deliver(src, dst, msg, self.scheduler.now)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def transmit(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
+        """Send ``msg`` from src to dst, departing at ``depart_time``.
+
+        Called by :class:`~repro.sim.process.SimProcess` once the sender's
+        CPU has finished the handler that produced the message. Local
+        (self) messages skip the network but still go through the
+        receiver's inbox, so handling them costs CPU like any other.
+        """
+        self.messages_sent += 1
+        kind = getattr(msg, "kind", None)
+        if kind is not None:
+            self.counts_by_kind[kind] += 1
+        for hook in self.trace_hooks:
+            hook(src, dst, msg, depart_time)
+
+        if (src, dst) in self._blocked_pairs:
+            self._parked.append((src, dst, msg))
+            return
+        self._deliver(src, dst, msg, depart_time)
+
+    def _deliver(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
+        receiver = self.processes.get(dst)
+        if receiver is None:
+            raise KeyError(f"unknown destination pid {dst}")
+        if src == dst:
+            arrival = depart_time
+        else:
+            delay = self.latency.sample(src, dst, self.rng)
+            arrival = depart_time + delay
+            # Enforce per-channel FIFO (TCP-like): never deliver before a
+            # previously sent message on the same channel.
+            pair = (src, dst)
+            prev = self._last_arrival.get(pair, -1.0)
+            if arrival <= prev:
+                arrival = prev + _FIFO_EPSILON
+            self._last_arrival[pair] = arrival
+        self.scheduler.call_at(arrival, receiver.enqueue_message, src, msg)

@@ -1,0 +1,154 @@
+"""Simulated processes with a single-server CPU queue.
+
+Each process owns one logical CPU. Incoming messages and posted jobs wait
+in a FIFO inbox; the CPU serves them one at a time. Serving a job costs
+``recv_cost(msg) + sum(send_cost(m) for m sent by the handler)`` of CPU
+time (see :mod:`repro.sim.costs`), and the messages the handler produced
+leave the process when that work completes. Under overload the inbox
+grows and end-to-end latency rises — this is what produces the hockey-
+stick throughput/latency curves of the paper's evaluation (§7.3–7.5).
+
+Protocol implementations subclass :class:`SimProcess` and override
+:meth:`on_message`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from .costs import CostModel
+from .events import Scheduler
+from .network import Network
+
+
+class SimProcess:
+    """Base class for all simulated processes (replicas and clients).
+
+    Args:
+        pid: globally unique process id.
+        scheduler: shared event scheduler.
+        network: shared network (the process registers itself).
+        cost_model: CPU cost model; ``None`` means zero-cost CPU.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        scheduler: Scheduler,
+        network: Network,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.pid = pid
+        self.scheduler = scheduler
+        self.network = network
+        self.cost_model = cost_model or CostModel()
+        self.crashed = False
+        self.busy_until = 0.0
+        self._inbox: Deque[Tuple[Any, ...]] = deque()
+        self._serving = False
+        self._outgoing: List[Tuple[int, Any]] = []
+        self._in_handler = False
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # API for subclasses
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, msg: Any) -> None:
+        """Handle a delivered message. Override in subclasses."""
+        raise NotImplementedError
+
+    def send(self, dst: int, msg: Any) -> None:
+        """Queue ``msg`` for ``dst``; departs when the current job's CPU
+        work completes (or immediately if called outside a handler)."""
+        if self.crashed:
+            return
+        if self._in_handler:
+            self._outgoing.append((dst, msg))
+        else:
+            # Sent from outside the CPU loop (e.g. test drivers): charge
+            # the send cost and transmit right away.
+            cost = self.cost_model.send_cost(msg)
+            depart = max(self.scheduler.now, self.busy_until) + cost
+            self.busy_until = depart
+            self.network.transmit(self.pid, dst, msg, depart)
+
+    def send_many(self, dsts: List[int], msg: Any) -> None:
+        """Send the same message to several destinations."""
+        for dst in dsts:
+            self.send(dst, msg)
+
+    def post_job(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        """Run ``fn`` on this process's CPU after ``delay`` ms.
+
+        Used for timers and client actions; the job is queued like a
+        message and charged any send costs it incurs.
+        """
+        self.scheduler.call_after(delay, self._enqueue_job, fn)
+
+    def crash(self) -> None:
+        """Crash the process: it stops sending and receiving forever."""
+        self.crashed = True
+        self._inbox.clear()
+
+    # ------------------------------------------------------------------
+    # CPU queue machinery
+    # ------------------------------------------------------------------
+
+    def enqueue_message(self, src: int, msg: Any) -> None:
+        """Called by the network when a message arrives."""
+        if self.crashed:
+            return
+        self._inbox.append(("msg", src, msg))
+        self._maybe_start_service()
+
+    def _enqueue_job(self, fn: Callable[[], None]) -> None:
+        if self.crashed:
+            return
+        self._inbox.append(("job", fn, None))
+        self._maybe_start_service()
+
+    def _maybe_start_service(self) -> None:
+        if self._serving or not self._inbox:
+            return
+        self._serving = True
+        start = max(self.scheduler.now, self.busy_until)
+        self.scheduler.call_at(start, self._serve)
+
+    def _serve(self) -> None:
+        if self.crashed or not self._inbox:
+            self._serving = False
+            return
+        item = self._inbox.popleft()
+        self._outgoing = []
+        self._in_handler = True
+        try:
+            if item[0] == "msg":
+                _, src, msg = item
+                cost = self.cost_model.recv_cost(msg)
+                self.on_message(src, msg)
+            else:
+                _, fn, _ = item
+                cost = 0.0
+                fn()
+        finally:
+            self._in_handler = False
+        outgoing, self._outgoing = self._outgoing, []
+        for _, out_msg in outgoing:
+            cost += self.cost_model.send_cost(out_msg)
+        completion = self.scheduler.now + cost
+        self.busy_until = completion
+        if not self.crashed:
+            for dst, out_msg in outgoing:
+                self.network.transmit(self.pid, dst, out_msg, completion)
+        if self._inbox and not self.crashed:
+            self.scheduler.call_at(completion, self._serve)
+        else:
+            self._serving = False
+            if self._inbox:
+                self._maybe_start_service()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} pid={self.pid} {state}>"

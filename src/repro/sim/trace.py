@@ -1,0 +1,83 @@
+"""Message-flight tracing and textual space-time diagrams.
+
+Opt-in recording of every wire message's (src, dst, kind, mid, depart,
+arrival), plus a renderer producing a chronological message-exchange
+listing — the textual equivalent of the paper's Figure 1 space-time
+diagram. Used by the Figure 1 bench and available for debugging any
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence
+
+from .network import Network
+
+
+class Flight(NamedTuple):
+    """One message's trip across the network."""
+
+    src: int
+    dst: int
+    kind: str
+    mid: Any
+    depart: float
+    arrival: float
+
+
+def record_flights(network: Network) -> List[Flight]:
+    """Attach a flight log to ``network``; returns the live list.
+
+    Arrival times are reconstructed from the latency model's mean —
+    exact on constant-latency networks, which is what diagrams use
+    (jittered runs get mean-latency arrivals, still useful for reading
+    an execution).
+    """
+    flights: List[Flight] = []
+    original = network.transmit
+    latency = network.latency
+
+    def transmit(src: int, dst: int, msg: Any, depart_time: float) -> None:
+        original(src, dst, msg, depart_time)
+        arrival = depart_time if src == dst else depart_time + latency.mean(src, dst)
+        flights.append(
+            Flight(
+                src,
+                dst,
+                getattr(msg, "kind", type(msg).__name__),
+                getattr(msg, "mid", None),
+                depart_time,
+                arrival,
+            )
+        )
+
+    network.transmit = transmit  # type: ignore[method-assign]
+    return flights
+
+
+def render_exchanges(
+    flights: Sequence[Flight],
+    include: Optional[Callable[[Flight], bool]] = None,
+    label_of: Optional[Callable[[int], str]] = None,
+) -> str:
+    """Chronological message-exchange listing (textual Figure 1).
+
+    Self-sends (a process's own r-multicast delivery) are omitted: they
+    take no network trip and would only add noise.
+
+    Args:
+        include: extra filter predicate.
+        label_of: process labels (default ``p<pid>``).
+    """
+    label = label_of or (lambda pid: f"p{pid}")
+    lines = []
+    for flight in sorted(flights, key=lambda f: (f.depart, f.arrival, f.src, f.dst)):
+        if flight.src == flight.dst:
+            continue
+        if include is not None and not include(flight):
+            continue
+        lines.append(
+            f"t={flight.depart:6.2f} -> t={flight.arrival:6.2f}  "
+            f"{label(flight.src):>4} -> {label(flight.dst):<4}  {flight.kind}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Property checkers for atomic multicast runs (§2.2 properties)."""
+
+from .genuineness import GenuinenessTracer
+from .invariants import InvariantMonitor, attach_monitors
+from .properties import (
+    PropertyViolation,
+    check_acyclic_order,
+    check_all,
+    check_integrity,
+    check_prefix_order,
+    check_timestamp_order,
+    check_uniform_agreement,
+)
+
+__all__ = [
+    "PropertyViolation",
+    "check_integrity",
+    "check_uniform_agreement",
+    "check_acyclic_order",
+    "check_prefix_order",
+    "check_timestamp_order",
+    "check_all",
+    "GenuinenessTracer",
+    "InvariantMonitor",
+    "attach_monitors",
+]

@@ -1,0 +1,58 @@
+"""Genuineness checker (§2.2).
+
+A multicast protocol is *genuine* when only the sender and the
+destinations of a message take steps to order it. We verify this
+empirically: a network trace hook records, for every wire message that
+carries a multicast id, its endpoints; the checker then asserts both
+endpoints belong to ``dest(m) ∪ {origin(m)}``.
+
+Messages without a ``mid`` (PrimCast's ``bump``, epoch-change traffic)
+are intra-group housekeeping: senders and receivers are in one group, and
+the checker separately asserts they never cross group boundaries — a
+process only emits them while acting as a destination (or during leader
+change, which involves no third-party group either).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.config import GroupConfig
+from ..core.messages import MessageId
+from .properties import PropertyViolation
+
+
+class GenuinenessTracer:
+    """Network trace hook recording endpoints per multicast id."""
+
+    def __init__(self, config: GroupConfig):
+        self.config = config
+        # mid -> set of (src, dst)
+        self.endpoints: Dict[MessageId, Set[Tuple[int, int]]] = {}
+        # endpoints of mid-less messages
+        self.anonymous: List[Tuple[int, int, str]] = []
+
+    def __call__(self, src: int, dst: int, msg: object, depart: float) -> None:
+        mid: Optional[MessageId] = getattr(msg, "mid", None)
+        if mid is not None:
+            self.endpoints.setdefault(mid, set()).add((src, dst))
+        else:
+            kind = getattr(msg, "kind", type(msg).__name__)
+            self.anonymous.append((src, dst, kind))
+
+    def check(self, dest_pids_of: Dict[MessageId, Set[int]], origin_of: Dict[MessageId, int]) -> None:
+        """Assert genuineness for every traced multicast."""
+        for mid, pairs in self.endpoints.items():
+            allowed = set(dest_pids_of[mid]) | {origin_of[mid]}
+            for src, dst in pairs:
+                if src not in allowed or dst not in allowed:
+                    raise PropertyViolation(
+                        f"non-genuine traffic for {mid}: {src} -> {dst} "
+                        f"(allowed: {sorted(allowed)})"
+                    )
+        group_of = self.config.group_of
+        for src, dst, kind in self.anonymous:
+            if group_of.get(src) != group_of.get(dst):
+                raise PropertyViolation(
+                    f"cross-group housekeeping message {kind}: {src} -> {dst}"
+                )

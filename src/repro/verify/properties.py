@@ -1,0 +1,184 @@
+"""Checkers for the atomic multicast properties of §2.2.
+
+These run over per-process delivery logs collected after a simulation:
+
+* **Integrity** — every message delivered at most once per process, and
+  only if it was multicast.
+* **Uniform agreement** — at quiescence, every correct destination
+  process delivered every message any process delivered.
+* **Global total order** — the ≺ relation (m ≺ m' iff some process
+  delivers m before m') is acyclic. ≺ is the transitive closure of the
+  union of the per-process delivery orders, and a cycle in a closure
+  exists iff one exists in the base graph, so we cycle-check the union of
+  consecutive-delivery edges (linear time).
+* **Uniform prefix order** — for processes p, q both in the destinations
+  of m and m', if p delivered m and q delivered m', then p delivered m'
+  before m or q delivered m before m'. (O(pairs²); meant for the
+  moderate-size runs of the test suite.)
+* **Timestamp order** — per-process deliveries happen in non-decreasing
+  ``(final_ts, mid)`` order, and all processes agree on each message's
+  final timestamp (protocol-level sanity, stronger than required).
+
+Each checker raises :class:`PropertyViolation` with a counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.messages import MessageId
+
+# One process's log: [(mid, final_ts, time), ...] in delivery order.
+DeliveryLog = List[Tuple[MessageId, int, float]]
+
+
+class PropertyViolation(AssertionError):
+    """An atomic multicast property does not hold; message explains."""
+
+
+def check_integrity(
+    logs: Dict[int, DeliveryLog], multicast_mids: Set[MessageId]
+) -> None:
+    """No duplicate deliveries; nothing delivered that was not sent."""
+    for pid, log in logs.items():
+        seen: Set[MessageId] = set()
+        for mid, _, _ in log:
+            if mid in seen:
+                raise PropertyViolation(f"process {pid} delivered {mid} twice")
+            seen.add(mid)
+            if mid not in multicast_mids:
+                raise PropertyViolation(
+                    f"process {pid} delivered {mid} which was never a-multicast"
+                )
+
+
+def check_uniform_agreement(
+    logs: Dict[int, DeliveryLog],
+    dest_pids_of: Dict[MessageId, Set[int]],
+    correct_pids: Set[int],
+) -> None:
+    """If anyone delivered m, every correct destination delivered m.
+
+    Only sound after the run has quiesced (all protocol messages
+    processed).
+    """
+    delivered_by: Dict[int, Set[MessageId]] = {
+        pid: {mid for mid, _, _ in log} for pid, log in logs.items()
+    }
+    anyone: Set[MessageId] = set()
+    for mids in delivered_by.values():
+        anyone |= mids
+    for mid in anyone:
+        for pid in dest_pids_of[mid]:
+            if pid in correct_pids and mid not in delivered_by.get(pid, set()):
+                raise PropertyViolation(
+                    f"{mid} was delivered somewhere but not at correct "
+                    f"destination {pid}"
+                )
+
+
+def check_acyclic_order(logs: Dict[int, DeliveryLog]) -> None:
+    """Global total order: the union of per-process delivery orders has
+    no cycle (iterative three-color DFS)."""
+    edges: Dict[MessageId, Set[MessageId]] = {}
+    nodes: Set[MessageId] = set()
+    for log in logs.values():
+        for (a, _, _), (b, _, _) in zip(log, log[1:]):
+            edges.setdefault(a, set()).add(b)
+            nodes.add(a)
+            nodes.add(b)
+        if log:
+            nodes.add(log[0][0])
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[MessageId, int] = {n: WHITE for n in nodes}
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[MessageId, Optional[Iterable]] ] = [(root, None)]
+        while stack:
+            node, it = stack[-1]
+            if it is None:
+                color[node] = GRAY
+                it = iter(edges.get(node, ()))
+                stack[-1] = (node, it)
+            advanced = False
+            for nxt in it:
+                if color[nxt] == GRAY:
+                    raise PropertyViolation(
+                        f"delivery order cycle involving {node} -> {nxt}"
+                    )
+                if color[nxt] == WHITE:
+                    stack.append((nxt, None))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+
+
+def check_prefix_order(
+    logs: Dict[int, DeliveryLog],
+    dest_pids_of: Dict[MessageId, Set[int]],
+) -> None:
+    """Uniform prefix order (§2.2), checked literally over all pairs."""
+    positions: Dict[int, Dict[MessageId, int]] = {
+        pid: {mid: i for i, (mid, _, _) in enumerate(log)}
+        for pid, log in logs.items()
+    }
+    pids = sorted(logs)
+    for i, p in enumerate(pids):
+        for q in pids[i + 1 :]:
+            pos_p, pos_q = positions[p], positions[q]
+            for m in pos_p:
+                if p not in dest_pids_of[m] or q not in dest_pids_of[m]:
+                    continue
+                for m2 in pos_q:
+                    if m2 == m:
+                        continue
+                    if p not in dest_pids_of[m2] or q not in dest_pids_of[m2]:
+                        continue
+                    # p delivered m, q delivered m2; one of them must
+                    # have delivered the other message first.
+                    p_first = m2 in pos_p and pos_p[m2] < pos_p[m]
+                    q_first = m in pos_q and pos_q[m] < pos_q[m2]
+                    if not (p_first or q_first):
+                        raise PropertyViolation(
+                            f"prefix order violated: {p} delivered {m}, "
+                            f"{q} delivered {m2}, neither saw the other first"
+                        )
+
+
+def check_timestamp_order(logs: Dict[int, DeliveryLog]) -> None:
+    """Deliveries in non-decreasing (final_ts, mid); consistent finals."""
+    finals: Dict[MessageId, Tuple[int, int]] = {}
+    for pid, log in logs.items():
+        prev: Optional[Tuple[int, MessageId]] = None
+        for mid, final, _ in log:
+            key = (final, mid)
+            if prev is not None and key < prev:
+                raise PropertyViolation(
+                    f"process {pid} delivered {key} after {prev}"
+                )
+            prev = key
+            if mid in finals and finals[mid][0] != final:
+                raise PropertyViolation(
+                    f"{mid} has final ts {final} at {pid} but "
+                    f"{finals[mid][0]} at {finals[mid][1]}"
+                )
+            finals.setdefault(mid, (final, pid))
+
+
+def check_all(
+    logs: Dict[int, DeliveryLog],
+    multicast_mids: Set[MessageId],
+    dest_pids_of: Dict[MessageId, Set[int]],
+    correct_pids: Set[int],
+    prefix: bool = True,
+) -> None:
+    """Run every checker (prefix order optional: it is quadratic)."""
+    check_integrity(logs, multicast_mids)
+    check_uniform_agreement(logs, dest_pids_of, correct_pids)
+    check_acyclic_order(logs)
+    check_timestamp_order(logs)
+    if prefix:
+        check_prefix_order(logs, dest_pids_of)

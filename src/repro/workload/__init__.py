@@ -1,0 +1,23 @@
+"""Workloads: closed-loop clients and the paper's Table 2 scenarios."""
+
+from .generator import Client, Sample, make_clients
+from .scenarios import (
+    DEFAULT_EPSILON_MS,
+    Scenario,
+    all_scenarios,
+    lan_scenario,
+    wan_colocated_leaders,
+    wan_distributed_leaders,
+)
+
+__all__ = [
+    "Client",
+    "Sample",
+    "make_clients",
+    "Scenario",
+    "all_scenarios",
+    "lan_scenario",
+    "wan_colocated_leaders",
+    "wan_distributed_leaders",
+    "DEFAULT_EPSILON_MS",
+]

@@ -1,0 +1,179 @@
+"""Deployment scenarios (the paper's Table 2).
+
+All three scenarios deploy 8 groups of 3 replicas (configurable). WAN
+latencies are emulated with a site RTT matrix and 5% standard deviation,
+exactly as the paper does with Linux ``tc``:
+
+=============================  =================  ====================
+Scenario                       Cross-group RTT    Intra-group RTT
+                               (between leaders)
+=============================  =================  ====================
+LAN                            0.09 ms            0.09 ms
+WAN — colocated leaders        0.09 ms            60 / 76 / 130 ms
+WAN — distributed leaders      90 ms              30 ms
+=============================  =================  ====================
+
+* *Colocated leaders*: 3 regions, each group has one replica per region,
+  replica 0 (the leader) of every group in region 0 — so leaders talk at
+  LAN latency while group-internal quorums pay WAN RTTs (values from the
+  White-Box paper, which Table 2 cites).
+* *Distributed leaders*: 8 regions of 3 datacenters; group g lives
+  entirely in region g, one replica per datacenter. Leaders of different
+  groups are 90 ms RTT apart — the convoy-effect stress test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.config import GroupConfig, uniform_groups
+from ..sim.latency import JitteredLatency, LatencyModel, SiteMatrixLatency
+
+#: RTT between two machines in the same datacenter (the paper's cluster).
+LAN_RTT_MS = 0.09
+
+#: Inter-region RTTs for the colocated-leaders scenario (from [20]).
+COLOCATED_REGION_RTTS = (60.0, 76.0, 130.0)  # (r0-r1, r0-r2, r1-r2)
+
+#: Distributed-leaders scenario RTTs.
+DISTRIBUTED_CROSS_REGION_RTT_MS = 90.0
+DISTRIBUTED_INTRA_REGION_RTT_MS = 30.0
+
+#: Default clock skew bound for PrimCast HC (§6): 2ε ≈ an order of
+#: magnitude below the cross-group communication step of the
+#: distributed-leaders deployment (Δ = 45 ms one-way).
+DEFAULT_EPSILON_MS = 2.0
+
+
+@dataclass
+class Scenario:
+    """A deployment: groups, placement and latency geometry."""
+
+    name: str
+    description: str
+    n_groups: int
+    group_size: int
+    #: one-way mean latency between two group leaders (for reporting)
+    cross_group_rtt_ms: float
+    #: representative intra-group RTT(s) (for reporting)
+    intra_group_rtt_ms: str
+    #: builds the latency model given the group configuration
+    _latency_builder: "LatencyBuilder" = field(repr=False)
+    #: clock skew bound used by the HC variant in this scenario
+    epsilon_ms: float = DEFAULT_EPSILON_MS
+
+    def make_config(self) -> GroupConfig:
+        """Group membership for this scenario."""
+        return uniform_groups(self.n_groups, self.group_size)
+
+    def make_latency(self, config: GroupConfig) -> LatencyModel:
+        """Latency model for this scenario's placement."""
+        return self._latency_builder(config)
+
+    def table2_row(self) -> List[str]:
+        """The scenario's Table 2 row."""
+        return [
+            self.name,
+            f"{self.cross_group_rtt_ms}ms",
+            self.intra_group_rtt_ms,
+            self.description,
+        ]
+
+
+class LatencyBuilder:
+    """Callable building a latency model from a config (picklable)."""
+
+    def __call__(self, config: GroupConfig) -> LatencyModel:
+        raise NotImplementedError
+
+
+class _LanLatency(LatencyBuilder):
+    def __call__(self, config: GroupConfig) -> LatencyModel:
+        return JitteredLatency(LAN_RTT_MS / 2.0, stddev_frac=0.05)
+
+
+class _ColocatedLatency(LatencyBuilder):
+    def __call__(self, config: GroupConfig) -> LatencyModel:
+        r01, r02, r12 = COLOCATED_REGION_RTTS
+        rtt = [
+            [LAN_RTT_MS, r01, r02],
+            [r01, LAN_RTT_MS, r12],
+            [r02, r12, LAN_RTT_MS],
+        ]
+        site_of: Dict[int, int] = {}
+        for gid in range(config.n_groups):
+            for idx, pid in enumerate(config.members(gid)):
+                site_of[pid] = idx % 3  # replica i of every group in region i
+        return SiteMatrixLatency(site_of, rtt, stddev_frac=0.05)
+
+
+class _DistributedLatency(LatencyBuilder):
+    def __call__(self, config: GroupConfig) -> LatencyModel:
+        n_regions = config.n_groups
+        dcs_per_region = max(len(config.members(g)) for g in range(n_regions))
+        n_sites = n_regions * dcs_per_region
+        rtt = [[0.0] * n_sites for _ in range(n_sites)]
+        for a in range(n_sites):
+            for b in range(n_sites):
+                if a == b:
+                    rtt[a][b] = LAN_RTT_MS
+                elif a // dcs_per_region == b // dcs_per_region:
+                    rtt[a][b] = DISTRIBUTED_INTRA_REGION_RTT_MS
+                else:
+                    rtt[a][b] = DISTRIBUTED_CROSS_REGION_RTT_MS
+        site_of: Dict[int, int] = {}
+        for gid in range(config.n_groups):
+            for idx, pid in enumerate(config.members(gid)):
+                site_of[pid] = gid * dcs_per_region + idx
+        return SiteMatrixLatency(site_of, rtt, stddev_frac=0.05)
+
+
+def lan_scenario(n_groups: int = 8, group_size: int = 3) -> Scenario:
+    """Table 2, row 1: everything inside one cluster."""
+    return Scenario(
+        name="LAN",
+        description=f"{n_groups} groups deployed inside a cluster.",
+        n_groups=n_groups,
+        group_size=group_size,
+        cross_group_rtt_ms=LAN_RTT_MS,
+        intra_group_rtt_ms=f"{LAN_RTT_MS}ms",
+        _latency_builder=_LanLatency(),
+        # In a LAN, synchronized clocks are far tighter than 2ms; the
+        # convoy window is tiny anyway (§7.3).
+        epsilon_ms=0.005,
+    )
+
+
+def wan_colocated_leaders(n_groups: int = 8, group_size: int = 3) -> Scenario:
+    """Table 2, row 2: 3 regions, leaders share a region."""
+    return Scenario(
+        name="WAN - colocated leaders",
+        description=f"3 regions, each of the {n_groups} groups deployed across them.",
+        n_groups=n_groups,
+        group_size=group_size,
+        cross_group_rtt_ms=LAN_RTT_MS,
+        intra_group_rtt_ms="60ms, 76ms, 130ms",
+        _latency_builder=_ColocatedLatency(),
+        epsilon_ms=DEFAULT_EPSILON_MS,
+    )
+
+
+def wan_distributed_leaders(n_groups: int = 8, group_size: int = 3) -> Scenario:
+    """Table 2, row 3: 8 regions, one group per region."""
+    return Scenario(
+        name="WAN - distributed leaders",
+        description=f"{n_groups} regions, each with {group_size} datacenters. "
+        "Each group deployed in its own region.",
+        n_groups=n_groups,
+        group_size=group_size,
+        cross_group_rtt_ms=DISTRIBUTED_CROSS_REGION_RTT_MS,
+        intra_group_rtt_ms=f"{DISTRIBUTED_INTRA_REGION_RTT_MS}ms",
+        _latency_builder=_DistributedLatency(),
+        epsilon_ms=DEFAULT_EPSILON_MS,
+    )
+
+
+def all_scenarios() -> List[Scenario]:
+    """The three Table 2 scenarios at paper scale (8 groups × 3)."""
+    return [lan_scenario(), wan_colocated_leaders(), wan_distributed_leaders()]

@@ -1,0 +1,111 @@
+"""Tests for the classic consensus-based multicast (§4.3, 6/12 steps)."""
+
+import pytest
+
+from repro.baselines.classic import ClassicProcess
+from repro.core import uniform_groups
+from repro.sim import ConstantLatency, JitteredLatency, Network, Scheduler, child_rng
+from repro.verify import check_acyclic_order, check_all, check_timestamp_order
+
+
+def build(n_groups=2, group_size=3, latency=None, seed=1):
+    config = uniform_groups(n_groups, group_size)
+    sched = Scheduler()
+    net = Network(sched, latency or ConstantLatency(1.0), child_rng(seed, "cl"))
+    procs = {
+        pid: ClassicProcess(pid, config, sched, net) for pid in config.all_pids
+    }
+    logs = {pid: [] for pid in procs}
+    multicasts = {}
+    for pid, p in procs.items():
+        p.add_deliver_hook(
+            lambda proc, m, ts: (
+                logs[proc.pid].append((m.mid, ts, sched.now)),
+                multicasts.setdefault(m.mid, m),
+            )
+        )
+    return config, sched, net, procs, logs, multicasts
+
+
+def test_six_step_collision_free_delivery():
+    """1 (start) + 2 (propose consensus) + 1 (ts exchange) + 2 (commit
+    consensus) = 6 steps for a global message."""
+    config, sched, net, procs, logs, _ = build()
+    procs[4].a_multicast({0, 1})
+    sched.run(until=50)
+    times = [t for pid in range(6) for _, _, t in logs[pid]]
+    assert len(times) == 6
+    assert max(times) == pytest.approx(6.0, abs=1e-6)
+
+
+def test_local_message_skips_ts_exchange():
+    """A single-group message needs no timestamp exchange: 1 + 2 + 2."""
+    config, sched, net, procs, logs, _ = build()
+    procs[1].a_multicast({0})
+    sched.run(until=50)
+    times = [t for pid in (0, 1, 2) for _, _, t in logs[pid]]
+    assert max(times) == pytest.approx(5.0, abs=1e-6)
+    assert net.counts_by_kind.get("cl-ts", 0) == 0
+
+
+def test_slower_than_primcast():
+    """The gap the paper's Table 1 quantifies: 6 steps vs 3."""
+    from repro.harness.steps import measure_collision_free
+
+    primcast = measure_collision_free("primcast", 2, n_groups=4)
+    config, sched, net, procs, logs, _ = build(n_groups=4)
+    procs[4].a_multicast({0, 1})
+    sched.run(until=50)
+    classic_steps = max(t for pid in range(6) for _, _, t in logs[pid])
+    assert classic_steps == pytest.approx(2 * primcast["max_steps"], abs=1e-6)
+
+
+def test_ordering_properties_random_run():
+    import random
+
+    config, sched, net, procs, logs, multicasts = build(
+        n_groups=3, latency=JitteredLatency(1.0, 0.2)
+    )
+    rng = random.Random(3)
+    sent = {}
+    for i in range(50):
+        sender = rng.choice(config.all_pids)
+        dest = frozenset(rng.sample(range(3), rng.randint(1, 3)))
+        when = rng.uniform(0, 40)
+        sched.call_at(
+            when,
+            lambda s=sender, d=dest: sent.setdefault(
+                procs[s].a_multicast(d).mid, d
+            ),
+        )
+    sched.run(until=5000)
+    dest_pids = {mid: set(config.dest_pids(d)) for mid, d in sent.items()}
+    check_all(logs, set(sent), dest_pids, set(config.all_pids))
+
+
+def test_group_members_deliver_identically():
+    config, sched, net, procs, logs, _ = build(n_groups=2)
+    for i in range(10):
+        sched.call_at(i * 0.8, procs[i % 6].a_multicast, {0, 1}, None)
+    sched.run(until=500)
+    orders = {tuple(m for m, _, _ in logs[pid]) for pid in range(6)}
+    assert len(orders) == 1
+    assert len(orders.pop()) == 10
+
+
+def test_uses_group_consensus_messages():
+    config, sched, net, procs, logs, _ = build()
+    procs[0].a_multicast({0, 1})
+    sched.run(until=50)
+    # Two consensus instances per group (propose + commit).
+    assert net.counts_by_kind["paxos-2a"] > 0
+    assert net.counts_by_kind["paxos-2b"] > 0
+
+
+def test_clock_advances_with_log():
+    config, sched, net, procs, logs, _ = build()
+    for _ in range(5):
+        procs[1].a_multicast({0})
+    sched.run(until=100)
+    assert procs[0].clock >= 5
+    assert procs[2].clock >= 5

@@ -1,0 +1,150 @@
+"""Unit tests for the shared timestamp-order delivery queue."""
+
+import pytest
+
+from repro.baselines.delivery import DeliveryQueue
+
+A, B, C = ("a", 1), ("b", 1), ("c", 1)
+
+
+class Bounds:
+    """Mutable monotone bound provider."""
+
+    def __init__(self):
+        self.values = {}
+
+    def set(self, mid, value):
+        assert value >= self.values.get(mid, 0), "bounds must be monotone"
+        self.values[mid] = value
+
+    def __call__(self, mid):
+        return self.values.get(mid, 0)
+
+
+@pytest.fixture
+def bounds():
+    return Bounds()
+
+
+def test_commit_then_pop(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.commit(A, 5)
+    assert q.pop_deliverable(clock=10) == (A, 5)
+    assert q.pop_deliverable(clock=10) is None
+    assert A not in q.pending
+
+
+def test_clock_guard(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.commit(A, 5)
+    assert q.pop_deliverable(clock=4) is None
+    assert q.pop_deliverable(clock=5) == (A, 5)
+
+
+def test_blocked_by_pending_with_smaller_bound(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.add_pending(B)
+    q.commit(A, 5)
+    bounds.set(B, 3)
+    assert q.pop_deliverable(clock=10) is None  # B may end below 5
+    bounds.set(B, 6)
+    assert q.pop_deliverable(clock=10) == (A, 5)
+
+
+def test_equal_bound_ties_break_by_id(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.add_pending(B)
+    q.commit(A, 5)
+    bounds.set(B, 5)
+    # (5, A) < (5, B): A may go first.
+    assert q.pop_deliverable(clock=10) == (A, 5)
+    # But B committed at 5 cannot pass a pending (5, A): id order.
+    q2 = DeliveryQueue(bounds)
+    bounds.values = {}
+    q2.add_pending(A)
+    q2.add_pending(B)
+    q2.commit(B, 5)
+    bounds.set(A, 5)
+    assert q2.pop_deliverable(clock=10) is None
+
+
+def test_delivery_in_final_order(bounds):
+    q = DeliveryQueue(bounds)
+    for mid in (A, B, C):
+        q.add_pending(mid)
+    for mid, final in ((C, 9), (A, 7), (B, 8)):
+        bounds.set(mid, final)
+        q.commit(mid, final)
+    out = []
+    while True:
+        popped = q.pop_deliverable(clock=100)
+        if popped is None:
+            break
+        out.append(popped)
+    assert out == [(A, 7), (B, 8), (C, 9)]
+
+
+def test_commit_is_idempotent(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.commit(A, 5)
+    q.commit(A, 99)  # ignored
+    assert q.pop_deliverable(clock=100) == (A, 5)
+    assert q.pop_deliverable(clock=100) is None
+
+
+def test_add_pending_idempotent(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.add_pending(A)
+    q.commit(A, 1)
+    assert q.pop_deliverable(clock=10) == (A, 1)
+    assert q.pop_deliverable(clock=10) is None
+
+
+def test_stale_bound_refreshed_lazily(bounds):
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.add_pending(B)
+    q.commit(A, 5)
+    # B's heap entry is stale (0); its true bound is already 8.
+    bounds.set(B, 8)
+    assert q.pop_deliverable(clock=10) == (A, 5)
+
+
+def test_excluded_entry_restored(bounds):
+    """The candidate's own bound entry must survive a failed pop."""
+    q = DeliveryQueue(bounds)
+    q.add_pending(A)
+    q.add_pending(B)
+    bounds.set(B, 4)
+    q.commit(B, 4)
+    bounds.set(A, 2)  # A blocks B
+    assert q.pop_deliverable(clock=10) is None
+    # Later A commits at 2 and must still be tracked as a blocker/pending.
+    q.commit(A, 2)
+    assert q.pop_deliverable(clock=10) == (A, 2)
+    assert q.pop_deliverable(clock=10) == (B, 4)
+
+
+def test_many_messages_scale(bounds):
+    q = DeliveryQueue(bounds)
+    n = 2000
+    mids = [("m", i) for i in range(n)]
+    for mid in mids:
+        q.add_pending(mid)
+    for i, mid in enumerate(reversed(mids)):
+        q.commit(mid, n - i)
+        bounds.set(mid, n - i)
+    out = []
+    while True:
+        popped = q.pop_deliverable(clock=10 * n)
+        if popped is None:
+            break
+        out.append(popped[1])
+    assert out == sorted(out)
+    assert len(out) == n

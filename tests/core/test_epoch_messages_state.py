@@ -1,0 +1,131 @@
+"""Unit tests for epochs, message types and the incremental trackers."""
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.core.epoch import Epoch, initial_epoch
+from repro.core.messages import Ack, Bump, Multicast, Start
+from repro.core.state import AckTracker, ClockTracker, SafetyViolationError
+
+
+class TestEpoch:
+    def test_ordering_by_number_then_leader(self):
+        assert Epoch(0, 5) < Epoch(1, 0)
+        assert Epoch(1, 0) < Epoch(1, 2)
+
+    def test_next_for_increments_number(self):
+        e = Epoch(3, 1)
+        assert e.next_for(7) == Epoch(4, 7)
+        assert e.next_for(7) > e
+
+    def test_initial_epoch(self):
+        e = initial_epoch(2)
+        assert e == Epoch(0, 2)
+        assert e.leader == 2
+
+    def test_str(self):
+        assert str(Epoch(2, 9)) == "e2@9"
+
+
+class TestMulticast:
+    def test_dest_is_frozenset(self):
+        m = Multicast((0, 0), frozenset({1, 2}))
+        assert m.dest == {1, 2}
+
+    def test_empty_dest_rejected(self):
+        with pytest.raises(ValueError):
+            Multicast((0, 0), frozenset())
+
+    def test_local_vs_global(self):
+        assert Multicast((0, 0), frozenset({1})).is_local
+        assert not Multicast((0, 0), frozenset({1, 2})).is_local
+
+    def test_message_kinds(self):
+        m = Multicast((0, 0), frozenset({0}))
+        assert Start(m).kind == "start"
+        assert Start(m).mid == (0, 0)
+        ack = Ack(m, 0, Epoch(0, 0), 1, 0)
+        assert ack.kind == "ack"
+        assert ack.mid == (0, 0)
+        assert Bump(Epoch(0, 0), 1, 0).kind == "bump"
+
+
+class TestAckTracker:
+    def _config(self):
+        return GroupConfig([[0, 1, 2]])
+
+    def test_quorum_decides(self):
+        config = self._config()
+        t = AckTracker()
+        assert not t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        assert t.local_ts is None
+        assert t.add_ack(config, 0, Epoch(0, 0), 5, 1, (9, 9))
+        assert t.local_ts == 5
+        assert t.decided_epoch == Epoch(0, 0)
+
+    def test_duplicate_sender_does_not_count_twice(self):
+        config = self._config()
+        t = AckTracker()
+        t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        assert not t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        assert t.local_ts is None
+
+    def test_acks_from_different_epochs_do_not_mix(self):
+        config = self._config()
+        t = AckTracker()
+        t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        assert not t.add_ack(config, 0, Epoch(1, 1), 5, 1, (9, 9))
+        assert t.local_ts is None
+        assert t.add_ack(config, 0, Epoch(1, 1), 5, 2, (9, 9))
+        assert t.local_ts == 5
+
+    def test_conflicting_ts_same_epoch_raises(self):
+        config = self._config()
+        t = AckTracker()
+        t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        with pytest.raises(SafetyViolationError):
+            t.add_ack(config, 0, Epoch(0, 0), 6, 1, (9, 9))
+
+    def test_decision_is_sticky(self):
+        config = self._config()
+        t = AckTracker()
+        t.add_ack(config, 0, Epoch(0, 0), 5, 0, (9, 9))
+        t.add_ack(config, 0, Epoch(0, 0), 5, 1, (9, 9))
+        assert not t.add_ack(config, 0, Epoch(2, 2), 8, 2, (9, 9))
+        assert t.local_ts == 5
+
+
+class TestClockTracker:
+    def test_observe_below_current_epoch_counts(self):
+        t = ClockTracker([0, 1, 2])
+        e = Epoch(1, 0)
+        assert t.observe(e, Epoch(0, 0), 7, 1)
+        assert t.min_clock(1) == 7
+
+    def test_observe_is_max(self):
+        t = ClockTracker([0, 1])
+        e = Epoch(0, 0)
+        t.observe(e, e, 7, 0)
+        assert not t.observe(e, e, 3, 0)
+        assert t.min_clock(0) == 7
+
+    def test_future_epoch_deferred_until_advance(self):
+        t = ClockTracker([0, 1])
+        e0, e2 = Epoch(0, 0), Epoch(2, 1)
+        assert not t.observe(e0, e2, 9, 1)
+        assert t.min_clock(1) == 0
+        assert t.advance_epoch(e2)
+        assert t.min_clock(1) == 9
+
+    def test_advance_keeps_still_future_tuples(self):
+        t = ClockTracker([0])
+        e0, e1, e5 = Epoch(0, 0), Epoch(1, 0), Epoch(5, 0)
+        t.observe(e0, e5, 4, 0)
+        assert not t.advance_epoch(e1)
+        assert t.min_clock(0) == 0
+        assert t.advance_epoch(e5)
+        assert t.min_clock(0) == 4
+
+    def test_unknown_member_defaults_to_zero(self):
+        t = ClockTracker([0, 1])
+        assert t.min_clock(42) == 0

@@ -1,0 +1,108 @@
+"""Direct tests of the literal-spec predicate implementations."""
+
+import pytest
+
+from helpers import MiniSystem
+from repro.core.epoch import Epoch
+from repro.core.messages import Ack, Bump, Multicast, Start
+from repro.core.spec import SpecRecorder, attach_spec_recorder
+
+
+@pytest.fixture
+def setup():
+    sys_ = MiniSystem(n_groups=2)
+    rec = SpecRecorder(sys_.processes[1])  # follower of group 0
+    return sys_, rec
+
+
+def m(mid=(9, 0), dest=(0, 1)):
+    return Multicast(mid, frozenset(dest))
+
+
+class TestMinClock:
+    def test_counts_own_group_acks(self, setup):
+        sys_, rec = setup
+        e = Epoch(0, 0)
+        rec.record(0, Ack(m(), 0, e, 5, 0))
+        assert rec.min_clock(sys_.config, e, 0) == 5
+
+    def test_ignores_remote_group_acks(self, setup):
+        sys_, rec = setup
+        e = Epoch(0, 0)
+        rec.record(3, Ack(m(), 1, Epoch(0, 3), 9, 3))
+        assert rec.min_clock(sys_.config, e, 3) == 0
+
+    def test_counts_bumps(self, setup):
+        sys_, rec = setup
+        e = Epoch(0, 0)
+        rec.record(2, Bump(e, 7, 2))
+        assert rec.min_clock(sys_.config, e, 2) == 7
+
+    def test_ignores_tuples_above_e_cur(self, setup):
+        """Line 15's filter: a promise to a higher epoch removes the
+        sender's influence on lower-epoch quorum-clock values."""
+        sys_, rec = setup
+        e0, e1 = Epoch(0, 0), Epoch(1, 2)
+        rec.record(2, Bump(e1, 9, 2))
+        assert rec.min_clock(sys_.config, e0, 2) == 0
+        assert rec.min_clock(sys_.config, e1, 2) == 9
+
+    def test_takes_max_over_tuples(self, setup):
+        sys_, rec = setup
+        e = Epoch(0, 0)
+        rec.record(0, Ack(m((9, 0)), 0, e, 3, 0))
+        rec.record(0, Ack(m((9, 1)), 0, e, 8, 0))
+        rec.record(0, Bump(e, 5, 0))
+        assert rec.min_clock(sys_.config, e, 0) == 8
+
+
+class TestQuorumClock:
+    def test_paper_example(self):
+        """§5.2.3's example: clocks {1,2,3,4,5} in a 5-group, majority
+        quorums -> quorum-clock = 3."""
+        sys_ = MiniSystem(n_groups=1, group_size=5)
+        rec = SpecRecorder(sys_.processes[0])
+        e = Epoch(0, 0)
+        for pid, ts in zip(range(5), (1, 2, 3, 4, 5)):
+            rec.record(pid, Bump(e, ts, pid))
+        assert rec.quorum_clock(sys_.config, e) == 3
+
+    def test_empty_m_gives_zero(self, setup):
+        sys_, rec = setup
+        assert rec.quorum_clock(sys_.config, Epoch(0, 0)) == 0
+
+
+class TestFinalTs:
+    def test_needs_all_groups(self, setup):
+        sys_, rec = setup
+        e = Epoch(0, 0)
+        mc = m()
+        rec.record(0, Ack(mc, 0, e, 2, 0))
+        rec.record(1, Ack(mc, 0, e, 2, 1))
+        assert rec.final_ts(sys_.config, mc.mid) is None  # group 1 missing
+        rec.record(3, Ack(mc, 1, Epoch(0, 3), 6, 3))
+        rec.record(4, Ack(mc, 1, Epoch(0, 3), 6, 4))
+        assert rec.final_ts(sys_.config, mc.mid) == 6
+
+    def test_unknown_message_is_none(self, setup):
+        sys_, rec = setup
+        assert rec.final_ts(sys_.config, ("nope", 0)) is None
+
+
+class TestRecorderWiring:
+    def test_attach_records_starts(self):
+        sys_ = MiniSystem(n_groups=2)
+        rec = attach_spec_recorder(sys_.processes[2])
+        mc = sys_.multicast(4, {0, 1})
+        sys_.run_to_quiescence()
+        assert mc.mid in rec.starts
+        assert any(t[1] == mc.mid for t in rec.acks)
+
+    def test_remote_ack_adds_start_tuple(self, setup):
+        sys_, rec = setup
+        mc = m()
+        rec.record(3, Ack(mc, 1, Epoch(0, 3), 1, 3))
+        assert mc.mid in rec.starts  # line 47
+        rec2 = SpecRecorder(sys_.processes[1])
+        rec2.record(0, Ack(mc, 0, Epoch(0, 0), 1, 0))
+        assert mc.mid not in rec2.starts  # own-group ack: line 41 only

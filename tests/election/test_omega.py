@@ -1,0 +1,103 @@
+"""Unit tests for the Ω leader oracle."""
+
+import pytest
+
+from repro.election.omega import OmegaOracle, make_oracles
+from repro.sim.events import Scheduler
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.rng import child_rng
+
+
+class Dummy(SimProcess):
+    def on_message(self, src, msg):
+        pass
+
+
+def build(n=3):
+    sched = Scheduler()
+    net = Network(sched, ConstantLatency(1.0), child_rng(1, "o"))
+    procs = {i: Dummy(i, sched, net) for i in range(n)}
+    return sched, procs
+
+
+def test_initial_output_is_first_member():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched)
+    assert oracle.leader == 0
+
+
+def test_subscribe_fires_immediately():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched)
+    seen = []
+    oracle.subscribe(lambda gid, pid: seen.append((gid, pid)))
+    assert seen == [(0, 0)]
+
+
+def test_static_oracle_never_changes_without_polling():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched, poll_interval_ms=None)
+    procs[0].crash()
+    sched.run(until=1000.0)
+    assert oracle.leader == 0
+
+
+def test_detects_crash_within_one_interval():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched, poll_interval_ms=10.0)
+    seen = []
+    oracle.subscribe(lambda gid, pid: seen.append((sched.now, pid)))
+    procs[0].crash()
+    sched.run(until=25.0)
+    assert oracle.leader == 1
+    assert seen[-1][1] == 1
+    assert seen[-1][0] <= 10.0 + 1e-9
+
+
+def test_cascading_crashes_elect_next_correct():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched, poll_interval_ms=5.0)
+    procs[0].crash()
+    procs[1].crash()
+    sched.run(until=12.0)
+    assert oracle.leader == 2
+
+
+def test_all_crashed_keeps_last_output():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched, poll_interval_ms=5.0)
+    for p in procs.values():
+        p.crash()
+    sched.run(until=12.0)
+    assert oracle.leader in (0, 1, 2)
+
+
+def test_make_oracles_one_per_group():
+    sched, procs = build(6)
+    oracles = make_oracles([[0, 1, 2], [3, 4, 5]], procs, sched)
+    assert set(oracles) == {0, 1}
+    assert oracles[0].leader == 0
+    assert oracles[1].leader == 3
+
+
+def test_empty_group_rejected():
+    sched, procs = build()
+    with pytest.raises(ValueError):
+        OmegaOracle(0, [], procs, sched)
+
+
+def test_bad_poll_interval_rejected():
+    sched, procs = build()
+    with pytest.raises(ValueError):
+        OmegaOracle(0, [0], procs, sched, poll_interval_ms=0.0)
+
+
+def test_stability_no_spurious_changes():
+    sched, procs = build()
+    oracle = OmegaOracle(0, [0, 1, 2], procs, sched, poll_interval_ms=1.0)
+    changes = []
+    oracle.subscribe(lambda gid, pid: changes.append(pid))
+    sched.run(until=100.0)
+    assert changes == [0]  # only the initial notification

@@ -1,0 +1,111 @@
+"""Tests for the Table 1 analytic model and step measurements."""
+
+import pytest
+
+from repro.harness.analytic import (
+    LATENCY_PROFILES,
+    exact_message_count,
+    hybrid_clock_failure_free_ms,
+    message_complexity,
+    table1_rows,
+)
+from repro.harness.steps import measure_collision_free, measure_primcast_convoy
+
+
+class TestLatencyProfiles:
+    def test_paper_table1_step_counts(self):
+        assert LATENCY_PROFILES["fastcast"].collision_free == 4
+        assert LATENCY_PROFILES["fastcast"].failure_free == 8
+        assert LATENCY_PROFILES["whitebox"].collision_free == 4
+        assert LATENCY_PROFILES["whitebox"].failure_free == 6
+        assert LATENCY_PROFILES["whitebox-leaders"].collision_free == 3
+        assert LATENCY_PROFILES["whitebox-leaders"].failure_free == 5
+        assert LATENCY_PROFILES["primcast"].collision_free == 3
+        assert LATENCY_PROFILES["primcast"].failure_free == 5
+
+    def test_failure_free_is_c_plus_d(self):
+        for p in LATENCY_PROFILES.values():
+            assert p.failure_free == p.clock_update_latency + p.commit_latency
+
+
+class TestMessageComplexity:
+    @pytest.mark.parametrize("k,n", [(1, 3), (2, 3), (4, 3), (8, 3), (2, 5)])
+    def test_formulas_match_table1_closed_forms(self, k, n):
+        assert (
+            message_complexity("fastcast", k, n)["total"]
+            == k * (2 * k * n + 3 * n + 2 * n * n)
+        )
+        assert message_complexity("whitebox", k, n)["total"] == k * (1 + 2 * k * n + n)
+        assert (
+            message_complexity("primcast", k, n)["total"]
+            == k * (k * n + k * n * n + n + n * n)
+        )
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            message_complexity("zab", 2, 3)
+        with pytest.raises(ValueError):
+            message_complexity("primcast", 0, 3)
+
+    def test_exact_counts_at_most_paper_formulas(self):
+        """The paper approximates followers as n; exact counts are <=."""
+        for proto in ("fastcast", "whitebox", "primcast"):
+            for k in (1, 2, 4):
+                exact = exact_message_count(proto, k, 3)["total"]
+                paper = message_complexity(proto, k, 3)["total"]
+                assert exact <= paper
+
+
+class TestHybridClockBound:
+    def test_small_epsilon_saves_a_step(self):
+        assert hybrid_clock_failure_free_ms(10.0, 1.0) == pytest.approx(42.0)
+
+    def test_large_epsilon_capped_at_5_delta(self):
+        assert hybrid_clock_failure_free_ms(10.0, 100.0) == pytest.approx(50.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hybrid_clock_failure_free_ms(-1, 0)
+
+
+class TestMeasuredSteps:
+    """Empirical side of Table 1 on an exact-step network."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_primcast_three_steps(self, k):
+        r = measure_collision_free("primcast", k, n_groups=4)
+        assert r["max_steps"] == pytest.approx(3.0, abs=1e-6)
+        assert not r["missing"]
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_whitebox_three_at_leaders_four_at_followers(self, k):
+        r = measure_collision_free("whitebox", k, n_groups=4)
+        assert r["max_leader_steps"] == pytest.approx(3.0, abs=1e-6)
+        assert r["max_steps"] == pytest.approx(4.0, abs=1e-6)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_fastcast_four_steps(self, k):
+        r = measure_collision_free("fastcast", k, n_groups=4)
+        assert r["max_steps"] == pytest.approx(4.0, abs=1e-6)
+
+    def test_measured_message_counts_close_to_formula(self):
+        for proto in ("primcast", "whitebox", "fastcast"):
+            r = measure_collision_free(proto, 2, n_groups=4)
+            exact = exact_message_count(proto, 2, 3)
+            # bumps are an upper bound for primcast; everything else exact
+            upper = exact["total"]
+            lower = upper - exact.get("bump(max)", 0)
+            assert lower <= r["messages"] <= upper, proto
+
+    def test_convoy_measurement_matches_bounds(self):
+        plain = measure_primcast_convoy(hybrid=False)
+        assert 4.5 < plain["measured_steps"] <= 5.0
+        hc = measure_primcast_convoy(hybrid=True, epsilon_ms=1.0)
+        assert hc["measured_steps"] <= 4.2 + 0.01
+
+
+def test_table1_rows_render():
+    rows = table1_rows()
+    assert len(rows) == 3
+    assert rows[0][0] == "FastCast"
+    assert "k(" in rows[0][3]

@@ -1,0 +1,59 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "primcast" in out
+    assert "worst-case convoy" in out
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "WAN - distributed leaders" in out
+
+
+def test_point_command(capsys):
+    assert (
+        main(
+            [
+                "point",
+                "--protocol", "primcast",
+                "--scenario", "lan",
+                "--dests", "2",
+                "--outstanding", "1",
+                "--warmup", "20",
+                "--measure", "40",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "primcast" in out
+    assert "LAN" in out
+
+
+def test_point_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        main(["point", "--protocol", "zab", "--scenario", "lan"])
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    subactions = next(
+        a for a in parser._actions if hasattr(a, "choices") and a.choices
+    )
+    assert set(subactions.choices) == {
+        "table1", "table2", "figure2", "figure3", "figure4", "figure5", "point",
+    }
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,79 @@
+"""Tests for latency/throughput statistics."""
+
+import pytest
+
+from repro.harness.metrics import cdf_points, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(range(1, 101))
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+
+    def test_p95_linear_interpolation(self):
+        data = list(range(1, 101))
+        assert percentile(data, 95) == pytest.approx(95.05)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_unsorted_input_ok(self):
+        assert percentile([9, 1, 5], 100) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_matches_numpy_linear_method(self):
+        numpy = pytest.importorskip("numpy")
+        data = [0.3, 1.7, 2.2, 9.1, 4.4, 5.0, 6.8]
+        for q in (10, 25, 50, 75, 90, 95, 99):
+            assert percentile(data, q) == pytest.approx(
+                float(numpy.percentile(data, q))
+            )
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["p50"] == 2.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s["count"] == 0
+        assert s["p95"] == 0.0
+
+
+class TestCdf:
+    def test_small_input_all_points(self):
+        pts = cdf_points([3.0, 1.0, 2.0])
+        assert pts == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_monotone(self):
+        data = [float(i % 17) for i in range(1000)]
+        pts = cdf_points(data, n_points=50)
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_downsampled_length(self):
+        pts = cdf_points(list(range(1000)), n_points=100)
+        assert len(pts) == 100
+
+    def test_empty(self):
+        assert cdf_points([]) == []

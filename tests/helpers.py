@@ -1,0 +1,143 @@
+"""Shared helpers for the test suite: mini system builders and drivers."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.baselines import ClassicProcess, FastCastProcess, WhiteBoxProcess
+from repro.core import GroupConfig, Multicast, PrimCastProcess, uniform_groups
+from repro.sim import (
+    ConstantLatency,
+    CostModel,
+    JitteredLatency,
+    LatencyModel,
+    Network,
+    PhysicalClock,
+    Scheduler,
+    child_rng,
+)
+from repro.sim.clock import US_PER_MS
+
+PROTOCOL_CLASSES = {
+    "primcast": PrimCastProcess,
+    "whitebox": WhiteBoxProcess,
+    "fastcast": FastCastProcess,
+    "classic": ClassicProcess,
+}
+
+
+class MiniSystem:
+    """A small deployment plus recording of every a-delivery."""
+
+    def __init__(
+        self,
+        protocol: str = "primcast",
+        n_groups: int = 2,
+        group_size: int = 3,
+        latency: Optional[LatencyModel] = None,
+        cost_model: Optional[CostModel] = None,
+        seed: int = 1,
+        hybrid_clock: bool = False,
+        epsilon_ms: float = 1.0,
+    ):
+        self.config = uniform_groups(n_groups, group_size)
+        self.scheduler = Scheduler()
+        self.network = Network(
+            self.scheduler, latency or ConstantLatency(1.0), child_rng(seed, "net")
+        )
+        self.processes: Dict[int, Any] = {}
+        skew_rng = child_rng(seed, "skew")
+        for pid in self.config.all_pids:
+            if protocol == "primcast":
+                clock = PhysicalClock(
+                    self.scheduler,
+                    skew_rng.uniform(-epsilon_ms, epsilon_ms) * US_PER_MS,
+                )
+                proc = PrimCastProcess(
+                    pid,
+                    self.config,
+                    self.scheduler,
+                    self.network,
+                    cost_model,
+                    physical_clock=clock,
+                    hybrid_clock=hybrid_clock,
+                )
+            else:
+                proc = PROTOCOL_CLASSES[protocol](
+                    pid, self.config, self.scheduler, self.network, cost_model
+                )
+            self.processes[pid] = proc
+        # pid -> [(mid, final_ts, time)]
+        self.deliveries: Dict[int, List[Tuple[Any, int, float]]] = {
+            pid: [] for pid in self.config.all_pids
+        }
+        self.multicasts: Dict[Any, Multicast] = {}
+        for proc in self.processes.values():
+            proc.add_deliver_hook(self._hook)
+
+    def _hook(self, proc: Any, multicast: Multicast, final_ts: int) -> None:
+        self.deliveries[proc.pid].append((multicast.mid, final_ts, self.scheduler.now))
+        self.multicasts[multicast.mid] = multicast
+
+    # ------------------------------------------------------------------
+
+    def multicast(self, sender_pid: int, dest: Set[int], payload: Any = None) -> Multicast:
+        m = self.processes[sender_pid].a_multicast(dest, payload)
+        self.multicasts[m.mid] = m
+        return m
+
+    def run(self, until: float = 1000.0) -> None:
+        self.scheduler.run(until=until)
+
+    def run_to_quiescence(self, max_time: float = 100000.0) -> None:
+        """Run until no events remain (or max_time)."""
+        self.scheduler.run(until=max_time)
+
+    # ------------------------------------------------------------------
+    # views for the property checkers
+    # ------------------------------------------------------------------
+
+    @property
+    def logs(self) -> Dict[int, List[Tuple[Any, int, float]]]:
+        return self.deliveries
+
+    def dest_pids_of(self) -> Dict[Any, Set[int]]:
+        return {
+            mid: set(self.config.dest_pids(m.dest))
+            for mid, m in self.multicasts.items()
+        }
+
+    def correct_pids(self) -> Set[int]:
+        return {
+            pid for pid, proc in self.processes.items() if not proc.crashed
+        }
+
+
+def random_workload(
+    system: MiniSystem,
+    n_messages: int,
+    seed: int = 7,
+    max_dest_groups: Optional[int] = None,
+    spread_ms: float = 50.0,
+) -> List[Multicast]:
+    """Inject ``n_messages`` multicasts from random senders at random
+    times with random destination sets."""
+    rng = random.Random(seed)
+    n_groups = system.config.n_groups
+    max_d = max_dest_groups or n_groups
+    sent = []
+    all_pids = system.config.all_pids
+    for _ in range(n_messages):
+        sender = system.processes[rng.choice(all_pids)]
+        n_dest = rng.randint(1, max_d)
+        dest = set(rng.sample(range(n_groups), n_dest))
+        when = rng.uniform(0, spread_ms)
+
+        def issue(proc=sender, d=frozenset(dest)) -> None:
+            m = proc.a_multicast(d, payload=None)
+            system.multicasts[m.mid] = m
+            sent.append(m)
+
+        system.scheduler.call_at(when, issue)
+    return sent

@@ -1,0 +1,113 @@
+"""Randomized crash-injection fuzzing with invariant monitors attached.
+
+Random workloads run while primaries (and followers) crash at random
+times, within each group's quorum budget. After quiescence we assert
+the safety properties — integrity, acyclic order, consistent final
+timestamps — and agreement among *correct* processes. The invariant
+monitors additionally fail fast on any structural violation during the
+run.
+"""
+
+import random
+
+import pytest
+
+from repro.core import PrimCastProcess, uniform_groups
+from repro.election import make_oracles
+from repro.sim import (
+    ConstantLatency,
+    FailureInjector,
+    JitteredLatency,
+    Network,
+    Scheduler,
+    child_rng,
+    max_failures,
+)
+from repro.verify import (
+    attach_monitors,
+    check_acyclic_order,
+    check_integrity,
+    check_timestamp_order,
+    check_uniform_agreement,
+)
+
+
+def run_fuzz(seed: int, n_groups: int = 2, group_size: int = 3, crashes: int = 2):
+    rng = random.Random(seed)
+    config = uniform_groups(n_groups, group_size)
+    sched = Scheduler()
+    net = Network(sched, JitteredLatency(1.0, 0.2), child_rng(seed, "fuzz"))
+    procs = {
+        pid: PrimCastProcess(pid, config, sched, net) for pid in config.all_pids
+    }
+    monitors = attach_monitors(procs)
+    oracles = make_oracles(config.groups, procs, sched, poll_interval_ms=4.0)
+    for pid, p in procs.items():
+        p.omega = oracles[config.group_of[pid]]
+        p.omega.subscribe(p._on_omega_output)
+    injector = FailureInjector(sched, procs)
+
+    logs = {pid: [] for pid in procs}
+    multicasts = {}
+    for pid, p in procs.items():
+        p.add_deliver_hook(
+            lambda proc, m, ts: (
+                logs[proc.pid].append((m.mid, ts, sched.now)),
+                multicasts.setdefault(m.mid, m),
+            )
+        )
+
+    # Crash within the quorum budget of each group.
+    budget = {g: max_failures(group_size) for g in range(n_groups)}
+    crashed = []
+    for _ in range(crashes):
+        g = rng.randrange(n_groups)
+        if budget[g] == 0:
+            continue
+        budget[g] -= 1
+        candidates = [p for p in config.members(g) if p not in crashed]
+        victim = rng.choice(candidates)
+        crashed.append(victim)
+        injector.crash_at(victim, rng.uniform(1.0, 40.0))
+
+    # Random workload; senders that crash mid-run are fine (non-uniform
+    # reliable multicast may lose their in-flight messages).
+    senders = []
+    for i in range(40):
+        sender = rng.choice(config.all_pids)
+        dest = frozenset(rng.sample(range(n_groups), rng.randint(1, n_groups)))
+        when = rng.uniform(0.0, 45.0)
+        sched.call_at(when, procs[sender].a_multicast, dest, f"p{i}")
+        senders.append((sender, dest, when))
+
+    sched.run(until=3000.0)
+
+    correct = {pid for pid, p in procs.items() if not p.crashed}
+    correct_logs = {pid: logs[pid] for pid in correct}
+    check_integrity(correct_logs, set(multicasts))
+    check_acyclic_order(correct_logs)
+    check_timestamp_order(correct_logs)
+    dest_pids = {
+        mid: set(config.dest_pids(m.dest)) for mid, m in multicasts.items()
+    }
+    check_uniform_agreement(correct_logs, dest_pids, correct)
+    return correct_logs, crashed, monitors
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_crash_fuzz_two_groups(seed):
+    logs, crashed, monitors = run_fuzz(seed)
+    assert any(logs.values())
+
+
+@pytest.mark.parametrize("seed", [100, 101, 102])
+def test_crash_fuzz_five_replicas(seed):
+    """Groups of 5 tolerate two crashes each."""
+    logs, crashed, monitors = run_fuzz(seed, n_groups=2, group_size=5, crashes=4)
+    assert any(logs.values())
+
+
+@pytest.mark.parametrize("seed", [200, 201])
+def test_crash_fuzz_three_groups(seed):
+    logs, crashed, monitors = run_fuzz(seed, n_groups=3, crashes=3)
+    assert any(logs.values())

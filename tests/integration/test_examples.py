@@ -1,0 +1,50 @@
+"""Smoke tests: every example runs to completion and prints its claims."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "ordered identically everywhere" in result.stdout
+
+
+def test_partitioned_kv():
+    result = run_example("partitioned_kv.py")
+    assert result.returncode == 0, result.stderr
+    assert "replicas converged" in result.stdout
+
+
+def test_failover():
+    result = run_example("failover.py")
+    assert result.returncode == 0, result.stderr
+    assert "ordering checks passed" in result.stdout
+    assert "role = primary" in result.stdout
+
+
+def test_protocol_trace():
+    result = run_example("protocol_trace.py")
+    assert result.returncode == 0, result.stderr
+    assert "3 communication steps" in result.stdout
+
+
+@pytest.mark.slow
+def test_wan_convoy_quick():
+    result = run_example("wan_convoy.py", "--quick", timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert "Worst-case convoy" in result.stdout

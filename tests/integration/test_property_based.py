@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate random workloads — senders, destination sets, send
+times, network jitter — and assert the §2.2 atomic multicast properties
+plus protocol-level invariants on the resulting executions, for PrimCast
+and both baselines.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import MiniSystem
+from repro.core.config import GroupConfig
+from repro.harness.metrics import percentile
+from repro.sim.latency import JitteredLatency
+from repro.verify import check_all
+
+# Keep runs small: each example spins a full simulation.
+FAST = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+workload_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),  # sender pid (3 groups x 3)
+        st.sets(st.integers(min_value=0, max_value=2), min_size=1, max_size=3),
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_protocol(protocol, workload, seed=1, jitter=False, hybrid=False):
+    latency = JitteredLatency(1.0, 0.3) if jitter else None
+    sys_ = MiniSystem(
+        protocol=protocol, n_groups=3, latency=latency, seed=seed, hybrid_clock=hybrid
+    )
+    sent = []
+    for sender, dest, when in workload:
+        sys_.scheduler.call_at(
+            when,
+            lambda s=sender, d=frozenset(dest): sent.append(
+                sys_.processes[s].a_multicast(d)
+            ),
+        )
+    sys_.run_to_quiescence()
+    sys_.multicasts = {m.mid: m for m in sent}
+    # Validity: with no failures, every multicast is delivered somewhere.
+    delivered = set()
+    for log in sys_.logs.values():
+        delivered.update(mid for mid, _, _ in log)
+    assert delivered == set(sys_.multicasts)
+    return sys_
+
+
+@FAST
+@given(workload=workload_st, seed=st.integers(min_value=0, max_value=10**6))
+def test_primcast_properties_hold(workload, seed):
+    sys_ = run_protocol("primcast", workload, seed=seed, jitter=True)
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+@FAST
+@given(workload=workload_st)
+def test_primcast_hc_properties_hold(workload):
+    sys_ = run_protocol("primcast", workload, jitter=True, hybrid=True)
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+@FAST
+@given(workload=workload_st)
+def test_whitebox_properties_hold(workload):
+    sys_ = run_protocol("whitebox", workload, jitter=True)
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+@FAST
+@given(workload=workload_st)
+def test_fastcast_properties_hold(workload):
+    sys_ = run_protocol("fastcast", workload, jitter=True)
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+@FAST
+@given(workload=workload_st)
+def test_classic_properties_hold(workload):
+    sys_ = run_protocol("classic", workload, jitter=True)
+    check_all(
+        sys_.logs, set(sys_.multicasts), sys_.dest_pids_of(), sys_.correct_pids()
+    )
+
+
+@FAST
+@given(
+    clocks=st.dictionaries(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+        min_size=0,
+        max_size=5,
+    )
+)
+def test_quorum_clock_is_quorum_intersection_safe(clocks):
+    """quorum-clock() invariant (§5.2.3): any future primary must pick a
+    starting clock >= quorum-clock(), because it reads a quorum and any
+    two quorums intersect."""
+    config = GroupConfig([[0, 1, 2, 3, 4]])
+    qc = config.quorum_clock_value(0, clocks)
+    values = [clocks.get(pid, 0) for pid in range(5)]
+    # For EVERY possible promise quorum, the max clock in it is >= qc.
+    from itertools import combinations
+
+    for quorum in combinations(range(5), 3):
+        assert max(values[p] for p in quorum) >= qc
+
+
+@FAST
+@given(
+    data=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200),
+    q=st.floats(min_value=0, max_value=100),
+)
+def test_percentile_bounds(data, q):
+    p = percentile(data, q)
+    assert min(data) <= p <= max(data)
+
+
+@FAST
+@given(st.data())
+def test_deliveries_monotone_in_final_ts(data):
+    workload = data.draw(workload_st)
+    sys_ = run_protocol("primcast", workload)
+    for log in sys_.logs.values():
+        keys = [(ts, mid) for mid, ts, _ in log]
+        assert keys == sorted(keys)

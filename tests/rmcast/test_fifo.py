@@ -1,0 +1,128 @@
+"""Unit tests for FIFO non-uniform reliable multicast."""
+
+import pytest
+
+from repro.rmcast.fifo import Envelope, RMcastProcess
+from repro.sim.events import Scheduler
+from repro.sim.latency import ConstantLatency, JitteredLatency
+from repro.sim.network import Network
+from repro.sim.rng import child_rng
+
+
+class Payload:
+    __slots__ = ("kind", "tag", "mid")
+
+    def __init__(self, tag, kind="test", mid=None):
+        self.tag = tag
+        self.kind = kind
+        self.mid = mid
+
+
+class Endpoint(RMcastProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delivered = []
+
+    def on_r_deliver(self, origin, payload):
+        self.delivered.append((origin, payload.tag, self.scheduler.now))
+
+
+def build(n=4, relay=False, latency=None):
+    sched = Scheduler()
+    net = Network(sched, latency or ConstantLatency(1.0), child_rng(3, "rm"))
+    procs = [Endpoint(i, sched, net, relay=relay) for i in range(n)]
+    return sched, net, procs
+
+
+def test_validity_all_destinations_deliver():
+    sched, net, procs = build()
+    procs[0].r_multicast(Payload("a"), [1, 2, 3])
+    sched.run()
+    for p in procs[1:]:
+        assert [(0, "a")] == [(o, t) for o, t, _ in p.delivered]
+
+
+def test_one_communication_step():
+    sched, net, procs = build(latency=ConstantLatency(7.0))
+    procs[0].r_multicast(Payload("a"), [1])
+    sched.run()
+    assert procs[1].delivered[0][2] == 7.0
+
+
+def test_sender_delivers_own_message_when_destination():
+    sched, net, procs = build()
+    procs[0].r_multicast(Payload("a"), [0, 1])
+    sched.run()
+    assert [(0, "a")] == [(o, t) for o, t, _ in procs[0].delivered]
+
+
+def test_sender_not_in_dest_does_not_deliver():
+    sched, net, procs = build()
+    procs[0].r_multicast(Payload("a"), [1, 2])
+    sched.run()
+    assert procs[0].delivered == []
+
+
+def test_integrity_no_duplicates_in_relay_mode():
+    sched, net, procs = build(relay=True)
+    procs[0].r_multicast(Payload("a"), [1, 2, 3])
+    sched.run()
+    for p in procs[1:]:
+        assert len(p.delivered) == 1
+    # Relays happened: more envelope sends than the 3 direct ones.
+    assert net.messages_sent > 3
+
+
+def test_fifo_order_per_sender():
+    sched, net, procs = build(latency=JitteredLatency(5.0, 0.8))
+    for i in range(30):
+        procs[0].r_multicast(Payload(i), [1, 2])
+    sched.run()
+    for p in (procs[1], procs[2]):
+        tags = [t for _, t, _ in p.delivered]
+        assert tags == list(range(30))
+
+
+def test_relay_mode_survives_sender_crash_mid_multicast():
+    """Non-uniform agreement strengthened by relaying: if at least one
+    correct destination got the envelope, all correct ones do."""
+    sched, net, procs = build(relay=True)
+    # Simulate a partial send: the sender's envelope only reaches 1.
+    env = Envelope(0, 0, Payload("a"), (1, 2, 3))
+    procs[0].send(1, env)
+    procs[0].crash()
+    sched.run()
+    assert [t for _, t, _ in procs[1].delivered] == ["a"]
+    assert [t for _, t, _ in procs[2].delivered] == ["a"]
+    assert [t for _, t, _ in procs[3].delivered] == ["a"]
+
+
+def test_without_relay_partial_send_is_lost():
+    sched, net, procs = build(relay=False)
+    env = Envelope(0, 0, Payload("a"), (1, 2, 3))
+    procs[0].send(1, env)
+    procs[0].crash()
+    sched.run()
+    assert len(procs[1].delivered) == 1
+    assert procs[2].delivered == []
+
+
+def test_envelope_exposes_payload_kind_and_mid():
+    env = Envelope(0, 0, Payload("a", kind="ack", mid=(1, 2)), (1,))
+    assert env.kind == "ack"
+    assert env.mid == (1, 2)
+
+
+def test_raw_message_rejected_by_default():
+    sched, net, procs = build()
+    procs[0].send(1, Payload("raw"))
+    with pytest.raises(NotImplementedError):
+        sched.run()
+
+
+def test_separate_seq_spaces_per_origin():
+    sched, net, procs = build()
+    procs[0].r_multicast(Payload("a"), [2])
+    procs[1].r_multicast(Payload("b"), [2])
+    sched.run()
+    assert len(procs[2].delivered) == 2

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import Scheduler
+
+
+def test_initial_state():
+    sched = Scheduler()
+    assert sched.now == 0.0
+    assert sched.events_processed == 0
+    assert sched.pending() == 0
+
+
+def test_events_run_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(5.0, fired.append, "b")
+    sched.call_at(1.0, fired.append, "a")
+    sched.call_at(9.0, fired.append, "c")
+    sched.run()
+    assert fired == ["a", "b", "c"]
+    assert sched.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    sched = Scheduler()
+    fired = []
+    for name in "abcde":
+        sched.call_at(3.0, fired.append, name)
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_call_after_is_relative():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(10.0, lambda: sched.call_after(5.0, lambda: fired.append(sched.now)))
+    sched.run()
+    assert fired == [15.0]
+
+
+def test_run_until_stops_before_later_events():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(1.0, fired.append, 1)
+    sched.call_at(100.0, fired.append, 100)
+    sched.run(until=50.0)
+    assert fired == [1]
+    assert sched.now == 50.0
+    # The later event is still queued and fires on the next run.
+    sched.run()
+    assert fired == [1, 100]
+
+
+def test_run_until_advances_now_even_without_events():
+    sched = Scheduler()
+    sched.run(until=42.0)
+    assert sched.now == 42.0
+
+
+def test_cancel_prevents_firing():
+    sched = Scheduler()
+    fired = []
+    handle = sched.call_at(1.0, fired.append, "x")
+    handle.cancel()
+    sched.call_at(2.0, fired.append, "y")
+    sched.run()
+    assert fired == ["y"]
+
+
+def test_pending_counts_only_armed_events():
+    sched = Scheduler()
+    h1 = sched.call_at(1.0, lambda: None)
+    sched.call_at(2.0, lambda: None)
+    h1.cancel()
+    assert sched.pending() == 1
+
+
+def test_cannot_schedule_in_the_past():
+    sched = Scheduler()
+    sched.call_at(10.0, lambda: None)
+    sched.run()
+    with pytest.raises(ValueError):
+        sched.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        sched.call_after(-1.0, lambda: None)
+
+
+def test_max_events_limits_execution():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.call_at(float(i), fired.append, i)
+    sched.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_from_within_event():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(1.0, fired.append, 1)
+    sched.call_at(2.0, sched.stop)
+    sched.call_at(3.0, fired.append, 3)
+    sched.run()
+    assert fired == [1]
+    sched.run()
+    assert fired == [1, 3]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sched = Scheduler()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sched.call_after(1.0, chain, depth + 1)
+
+    sched.call_at(0.0, chain, 0)
+    sched.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sched.now == 5.0
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for i in range(4):
+        sched.call_at(float(i), lambda: None)
+    sched.run()
+    assert sched.events_processed == 4

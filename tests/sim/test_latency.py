@@ -1,0 +1,97 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import ConstantLatency, JitteredLatency, SiteMatrixLatency
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestConstantLatency:
+    def test_sample_equals_mean(self, rng):
+        model = ConstantLatency(3.5)
+        assert model.sample(0, 1, rng) == 3.5
+        assert model.mean(0, 1) == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestJitteredLatency:
+    def test_mean_is_configured_value(self, rng):
+        model = JitteredLatency(10.0, 0.05)
+        assert model.mean(3, 7) == 10.0
+
+    def test_samples_cluster_around_mean(self, rng):
+        model = JitteredLatency(10.0, 0.05)
+        samples = [model.sample(0, 1, rng) for _ in range(2000)]
+        avg = sum(samples) / len(samples)
+        assert abs(avg - 10.0) < 0.1
+        spread = (sum((s - avg) ** 2 for s in samples) / len(samples)) ** 0.5
+        assert 0.3 < spread < 0.8  # ~5% of 10ms
+
+    def test_samples_never_below_floor(self, rng):
+        model = JitteredLatency(1.0, 2.0)  # huge jitter
+        assert all(model.sample(0, 1, rng) >= 0.1 for _ in range(500))
+
+    def test_zero_stddev_is_deterministic(self, rng):
+        model = JitteredLatency(5.0, 0.0)
+        assert model.sample(0, 1, rng) == 5.0
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError):
+            JitteredLatency(-1.0)
+        with pytest.raises(ValueError):
+            JitteredLatency(1.0, -0.5)
+
+
+class TestSiteMatrixLatency:
+    def _model(self, stddev=0.0):
+        site_of = {0: 0, 1: 0, 2: 1, 3: 2}
+        rtt = [
+            [0.1, 60.0, 76.0],
+            [60.0, 0.1, 130.0],
+            [76.0, 130.0, 0.1],
+        ]
+        return SiteMatrixLatency(site_of, rtt, stddev_frac=stddev)
+
+    def test_one_way_is_half_rtt(self, rng):
+        model = self._model()
+        assert model.mean(0, 2) == 30.0
+        assert model.mean(2, 3) == 65.0
+        assert model.sample(0, 2, rng) == 30.0
+
+    def test_same_site_uses_diagonal(self, rng):
+        model = self._model()
+        assert model.mean(0, 1) == 0.05
+
+    def test_symmetry(self, rng):
+        model = self._model()
+        assert model.mean(0, 3) == model.mean(3, 0)
+
+    def test_jitter_respects_floor(self, rng):
+        model = self._model(stddev=1.0)
+        for _ in range(200):
+            assert model.sample(0, 2, rng) >= 3.0  # 10% of 30ms
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(ValueError):
+            SiteMatrixLatency({0: 0, 1: 1}, [[0, 1], [2, 0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            SiteMatrixLatency({0: 0}, [[0, 1]])
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            SiteMatrixLatency({0: 5}, [[0.0]])
+
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ValueError):
+            SiteMatrixLatency({0: 0, 1: 1}, [[0, -3], [-3, 0]])

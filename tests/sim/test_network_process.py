@@ -1,0 +1,198 @@
+"""Unit tests for the network and the CPU-queue process model."""
+
+import pytest
+
+from repro.sim.costs import CostModel
+from repro.sim.events import Scheduler
+from repro.sim.latency import ConstantLatency, JitteredLatency
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+from repro.sim.rng import child_rng
+
+
+class Msg:
+    __slots__ = ("kind", "tag")
+
+    def __init__(self, kind="msg", tag=None):
+        self.kind = kind
+        self.tag = tag
+
+
+class Recorder(SimProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((src, msg, self.scheduler.now))
+
+
+class Echoer(Recorder):
+    """Replies to every message."""
+
+    def on_message(self, src, msg):
+        super().on_message(src, msg)
+        if src != self.pid:
+            self.send(src, Msg("reply"))
+
+
+def build(latency=None, cost=None, n=3):
+    sched = Scheduler()
+    net = Network(sched, latency or ConstantLatency(1.0), child_rng(1, "t"))
+    procs = [Recorder(i, sched, net, cost) for i in range(n)]
+    return sched, net, procs
+
+
+class TestNetworkBasics:
+    def test_message_delivered_after_latency(self):
+        sched, net, procs = build(ConstantLatency(2.5))
+        procs[0].send(1, Msg())
+        sched.run()
+        assert len(procs[1].received) == 1
+        assert procs[1].received[0][2] == 2.5
+
+    def test_self_send_is_immediate(self):
+        sched, net, procs = build()
+        procs[0].send(0, Msg())
+        sched.run()
+        assert procs[0].received[0][2] == 0.0
+
+    def test_duplicate_pid_rejected(self):
+        sched, net, procs = build()
+        with pytest.raises(ValueError):
+            Recorder(0, sched, net)
+
+    def test_unknown_destination_raises(self):
+        sched, net, procs = build()
+        with pytest.raises(KeyError):
+            # sent outside a handler -> transmitted synchronously
+            procs[0].send(99, Msg())
+
+    def test_counts_by_kind(self):
+        sched, net, procs = build()
+        procs[0].send(1, Msg("a"))
+        procs[0].send(1, Msg("a"))
+        procs[0].send(2, Msg("b"))
+        sched.run()
+        assert net.counts_by_kind["a"] == 2
+        assert net.counts_by_kind["b"] == 1
+        assert net.messages_sent == 3
+
+    def test_trace_hook_sees_every_send(self):
+        sched, net, procs = build()
+        seen = []
+        net.add_trace_hook(lambda s, d, m, t: seen.append((s, d, m.kind)))
+        procs[0].send(1, Msg("x"))
+        procs[1].send(2, Msg("y"))
+        sched.run()
+        assert (0, 1, "x") in seen and (1, 2, "y") in seen
+
+
+class TestFifoOrdering:
+    def test_jittered_channel_preserves_fifo(self):
+        # Huge jitter would reorder; the FIFO clamp must prevent it.
+        sched, net, procs = build(JitteredLatency(5.0, 0.9))
+        for i in range(50):
+            procs[0].send(1, Msg("m", i))
+        sched.run()
+        tags = [m.tag for _, m, _ in procs[1].received]
+        assert tags == list(range(50))
+
+    def test_fifo_is_per_pair_not_global(self):
+        sched, net, procs = build(ConstantLatency(1.0))
+        procs[0].send(2, Msg("m", "from0"))
+        procs[1].send(2, Msg("m", "from1"))
+        sched.run()
+        assert len(procs[2].received) == 2
+
+
+class TestCrashAndPartition:
+    def test_crashed_process_receives_nothing(self):
+        sched, net, procs = build()
+        procs[1].crash()
+        procs[0].send(1, Msg())
+        sched.run()
+        assert procs[1].received == []
+
+    def test_crashed_process_sends_nothing(self):
+        sched, net, procs = build()
+        procs[0].crash()
+        procs[0].send(1, Msg())
+        sched.run()
+        assert procs[1].received == []
+
+    def test_partition_blocks_both_directions(self):
+        sched, net, procs = build()
+        net.partition([0], [1])
+        procs[0].send(1, Msg())
+        procs[1].send(0, Msg())
+        procs[0].send(2, Msg())
+        sched.run()
+        assert procs[1].received == []
+        assert procs[0].received == []
+        assert len(procs[2].received) == 1
+
+    def test_heal_restores_traffic(self):
+        sched, net, procs = build()
+        net.partition([0], [1])
+        net.heal()
+        procs[0].send(1, Msg())
+        sched.run()
+        assert len(procs[1].received) == 1
+
+
+class TestCpuQueue:
+    def test_recv_cost_delays_subsequent_service(self):
+        cost = CostModel(recv_costs={"msg": 10.0})
+        sched, net, procs = build(ConstantLatency(1.0), cost)
+        procs[0].send(1, Msg())
+        procs[0].send(1, Msg())
+        sched.run()
+        times = [t for _, _, t in procs[1].received]
+        # First served on arrival (1.0); second waits for the 10ms of CPU.
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(11.0)
+
+    def test_send_cost_delays_departure(self):
+        cost = CostModel(recv_costs={"msg": 2.0}, send_costs={"reply": 3.0})
+        sched = Scheduler()
+        net = Network(sched, ConstantLatency(1.0), child_rng(1, "t"))
+        echo = Echoer(0, sched, net, cost)
+        rec = Recorder(1, sched, net, cost)
+        rec.send(0, Msg())
+        sched.run()
+        # msg arrives at 1.0, handler runs, costs 2 (recv) + 3 (send),
+        # reply departs at 6.0, arrives at 7.0; receiver spends recv cost
+        # for the reply kind too (default 0 here -> handled at arrival).
+        assert rec.received[0][2] == pytest.approx(7.0)
+
+    def test_queue_builds_under_overload(self):
+        cost = CostModel(recv_costs={"msg": 5.0})
+        sched, net, procs = build(ConstantLatency(1.0), cost)
+        for _ in range(10):
+            procs[0].send(1, Msg())
+        sched.run()
+        times = [t for _, _, t in procs[1].received]
+        assert times[-1] == pytest.approx(1.0 + 9 * 5.0)
+
+    def test_post_job_runs_on_cpu(self):
+        sched, net, procs = build()
+        ran = []
+        procs[0].post_job(lambda: ran.append(sched.now), delay=4.0)
+        sched.run()
+        assert ran == [4.0]
+
+    def test_post_job_after_crash_is_dropped(self):
+        sched, net, procs = build()
+        ran = []
+        procs[0].post_job(lambda: ran.append(1), delay=4.0)
+        procs[0].crash()
+        sched.run()
+        assert ran == []
+
+    def test_send_outside_handler_charges_cost(self):
+        cost = CostModel(send_costs={"msg": 2.0})
+        sched, net, procs = build(ConstantLatency(1.0), cost)
+        procs[0].send(1, Msg())  # departs at 2.0, arrives 3.0
+        sched.run()
+        assert procs[1].received[0][2] == pytest.approx(3.0)

@@ -1,0 +1,82 @@
+"""Tests for message-flight tracing."""
+
+import pytest
+
+from repro.sim import ConstantLatency, Network, Scheduler, child_rng
+from repro.sim.process import SimProcess
+from repro.sim.trace import Flight, record_flights, render_exchanges
+
+
+class Msg:
+    __slots__ = ("kind", "mid")
+
+    def __init__(self, kind="m", mid=None):
+        self.kind = kind
+        self.mid = mid
+
+
+class Echo(SimProcess):
+    def on_message(self, src, msg):
+        pass
+
+
+def build():
+    sched = Scheduler()
+    net = Network(sched, ConstantLatency(2.0), child_rng(1, "tr"))
+    procs = [Echo(i, sched, net) for i in range(3)]
+    return sched, net, procs
+
+
+def test_flights_recorded_with_arrivals():
+    sched, net, procs = build()
+    flights = record_flights(net)
+    procs[0].send(1, Msg("hello", mid=(0, 0)))
+    sched.run()
+    assert flights == [Flight(0, 1, "hello", (0, 0), 0.0, 2.0)]
+
+
+def test_self_send_has_zero_trip():
+    sched, net, procs = build()
+    flights = record_flights(net)
+    procs[0].send(0, Msg())
+    sched.run()
+    assert flights[0].depart == flights[0].arrival
+
+
+def test_render_skips_self_sends_and_sorts():
+    flights = [
+        Flight(1, 2, "b", None, 5.0, 7.0),
+        Flight(0, 0, "self", None, 1.0, 1.0),
+        Flight(0, 1, "a", None, 1.0, 3.0),
+    ]
+    out = render_exchanges(flights)
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert "a" in lines[0] and "b" in lines[1]
+    assert "self" not in out
+
+
+def test_render_with_filter_and_labels():
+    flights = [
+        Flight(0, 1, "a", None, 1.0, 3.0),
+        Flight(0, 2, "b", None, 1.0, 3.0),
+    ]
+    out = render_exchanges(
+        flights,
+        include=lambda f: f.kind == "a",
+        label_of=lambda pid: f"replica{pid}",
+    )
+    assert "replica0" in out and "replica1" in out
+    assert "b" not in out
+
+
+def test_tracing_does_not_change_behaviour():
+    sched1, net1, procs1 = build()
+    record_flights(net1)
+    procs1[0].send(1, Msg())
+    end1 = sched1.run()
+    sched2, net2, procs2 = build()
+    procs2[0].send(1, Msg())
+    end2 = sched2.run()
+    assert end1 == end2
+    assert net1.messages_sent == net2.messages_sent

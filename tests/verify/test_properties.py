@@ -1,0 +1,114 @@
+"""Unit tests for the property checkers themselves (positive + negative)."""
+
+import pytest
+
+from repro.verify.properties import (
+    PropertyViolation,
+    check_acyclic_order,
+    check_integrity,
+    check_prefix_order,
+    check_timestamp_order,
+    check_uniform_agreement,
+)
+
+A, B, C = ("a", 1), ("b", 1), ("c", 1)
+
+
+def log(*entries):
+    return [(mid, ts, float(i)) for i, (mid, ts) in enumerate(entries)]
+
+
+class TestIntegrity:
+    def test_ok(self):
+        check_integrity({0: log((A, 1), (B, 2))}, {A, B})
+
+    def test_duplicate_delivery_caught(self):
+        with pytest.raises(PropertyViolation, match="twice"):
+            check_integrity({0: log((A, 1), (A, 1))}, {A})
+
+    def test_phantom_message_caught(self):
+        with pytest.raises(PropertyViolation, match="never"):
+            check_integrity({0: log((A, 1))}, set())
+
+
+class TestUniformAgreement:
+    def test_ok_when_all_correct_dests_deliver(self):
+        logs = {0: log((A, 1)), 1: log((A, 1))}
+        check_uniform_agreement(logs, {A: {0, 1}}, {0, 1})
+
+    def test_missing_delivery_caught(self):
+        logs = {0: log((A, 1)), 1: []}
+        with pytest.raises(PropertyViolation):
+            check_uniform_agreement(logs, {A: {0, 1}}, {0, 1})
+
+    def test_crashed_processes_excused(self):
+        logs = {0: log((A, 1)), 1: []}
+        check_uniform_agreement(logs, {A: {0, 1}}, {0})
+
+    def test_non_destinations_excused(self):
+        logs = {0: log((A, 1)), 1: []}
+        check_uniform_agreement(logs, {A: {0}}, {0, 1})
+
+
+class TestAcyclicOrder:
+    def test_consistent_orders_pass(self):
+        logs = {0: log((A, 1), (B, 2)), 1: log((A, 1), (B, 2), (C, 3))}
+        check_acyclic_order(logs)
+
+    def test_two_process_cycle_caught(self):
+        logs = {0: log((A, 1), (B, 2)), 1: log((B, 2), (A, 1))}
+        with pytest.raises(PropertyViolation, match="cycle"):
+            check_acyclic_order(logs)
+
+    def test_three_process_cycle_caught(self):
+        # a<b at 0, b<c at 1, c<a at 2: cycle via transitivity.
+        logs = {
+            0: log((A, 1), (B, 2)),
+            1: log((B, 2), (C, 3)),
+            2: log((C, 3), (A, 1)),
+        }
+        with pytest.raises(PropertyViolation, match="cycle"):
+            check_acyclic_order(logs)
+
+    def test_disjoint_logs_pass(self):
+        logs = {0: log((A, 1)), 1: log((B, 1))}
+        check_acyclic_order(logs)
+
+    def test_empty_logs_pass(self):
+        check_acyclic_order({0: [], 1: []})
+
+
+class TestPrefixOrder:
+    def test_ok(self):
+        logs = {0: log((A, 1), (B, 2)), 1: log((A, 1), (B, 2))}
+        check_prefix_order(logs, {A: {0, 1}, B: {0, 1}})
+
+    def test_violation_caught(self):
+        # 0 delivered only A, 1 delivered only B; both messages destined
+        # to both -> neither saw the other first.
+        logs = {0: log((A, 1)), 1: log((B, 2))}
+        with pytest.raises(PropertyViolation, match="prefix"):
+            check_prefix_order(logs, {A: {0, 1}, B: {0, 1}})
+
+    def test_disjoint_destinations_not_constrained(self):
+        logs = {0: log((A, 1)), 1: log((B, 2))}
+        check_prefix_order(logs, {A: {0}, B: {1}})
+
+
+class TestTimestampOrder:
+    def test_ok(self):
+        check_timestamp_order({0: log((A, 1), (B, 1), (C, 5))})
+
+    def test_decreasing_ts_caught(self):
+        with pytest.raises(PropertyViolation):
+            check_timestamp_order({0: log((A, 5), (B, 1))})
+
+    def test_tie_must_respect_id_order(self):
+        # (b,1) before (a,1): ids out of order at equal ts.
+        with pytest.raises(PropertyViolation):
+            check_timestamp_order({0: log((B, 1), (A, 1))})
+
+    def test_inconsistent_finals_across_processes_caught(self):
+        logs = {0: log((A, 1)), 1: log((A, 2))}
+        with pytest.raises(PropertyViolation, match="final"):
+            check_timestamp_order(logs)

@@ -1,0 +1,103 @@
+"""Tests for the closed-loop client workload."""
+
+import random
+
+import pytest
+
+from repro.workload.generator import Client, make_clients
+from repro.workload.scenarios import lan_scenario
+from repro.harness.runner import build_system
+from repro.sim.costs import zero_cost_model
+
+
+def build(outstanding=4, n_dest=2, n_groups=4, group_size=3):
+    scenario = lan_scenario(n_groups=n_groups, group_size=group_size)
+    system = build_system("primcast", scenario, cost_model=zero_cost_model())
+    rng = random.Random(3)
+    clients = make_clients(
+        system.replicas, n_dest, n_groups, outstanding, rng
+    )
+    return system, clients
+
+
+def test_one_client_per_replica():
+    system, clients = build()
+    assert len(clients) == len(system.replicas)
+
+
+def test_window_is_respected():
+    system, clients = build(outstanding=5)
+    for c in clients:
+        c.start()
+    system.scheduler.run(until=0.01)  # only the initial issue jobs
+    for c in clients:
+        assert c.issued == 5
+        assert len(c._in_flight) == 5
+
+
+def test_closed_loop_reissues_on_delivery():
+    system, clients = build(outstanding=2)
+    clients[0].start()
+    system.scheduler.run(until=10.0)
+    c = clients[0]
+    assert c.completed > 2
+    assert c.issued == c.completed + 2
+
+
+def test_own_group_always_in_destinations():
+    system, clients = build(outstanding=1, n_dest=3)
+    for c in clients:
+        for _ in range(50):
+            dest = c._pick_dest()
+            assert c.replica.gid in dest
+            assert len(dest) == 3
+
+
+def test_single_destination_is_own_group():
+    system, clients = build(n_dest=1)
+    for c in clients:
+        assert c._pick_dest() == {c.replica.gid}
+
+
+def test_latency_samples_are_positive_and_complete():
+    system, clients = build(outstanding=2)
+    for c in clients:
+        c.start()
+    system.scheduler.run(until=20.0)
+    for c in clients:
+        assert c.samples
+        for pid, when, lat in c.samples:
+            assert pid == c.replica.pid
+            assert lat > 0
+
+def test_stop_halts_issuing():
+    system, clients = build(outstanding=1)
+    clients[0].start()
+    system.scheduler.run(until=5.0)
+    clients[0].stop()
+    issued = clients[0].issued
+    system.scheduler.run(until=30.0)
+    assert clients[0].issued == issued
+
+
+def test_invalid_parameters_rejected():
+    system, clients = build()
+    replica = system.replicas[0]
+    with pytest.raises(ValueError):
+        Client(replica, 0, 4, 1, random.Random(0))
+    with pytest.raises(ValueError):
+        Client(replica, 9, 4, 1, random.Random(0))
+    with pytest.raises(ValueError):
+        Client(replica, 2, 4, 0, random.Random(0))
+
+
+def test_deterministic_with_same_seed():
+    s1, c1 = build()
+    s2, c2 = build()
+    for c in c1 + c2:
+        c.start()
+    s1.scheduler.run(until=10.0)
+    s2.scheduler.run(until=10.0)
+    lat1 = [lat for c in c1 for _, _, lat in c.samples]
+    lat2 = [lat for c in c2 for _, _, lat in c.samples]
+    assert lat1 == lat2
