@@ -1,0 +1,72 @@
+"""Perf smoke bench: substrate wall-clock and §7.1 batching delta.
+
+Unlike the figure/table benches this one times the *simulator itself*:
+it pins the >= 2x wall-clock speedup of the substrate overhaul against
+the seed-revision baseline on a standard Fig-3 load point (batching off,
+so the run is bit-identical to the seed protocol behaviour), measures
+the wire-message reduction of the opt-in ack/bump batching layer, and
+records both in ``BENCH_perf.json`` at the repository root.
+
+Runs with plain pytest — no pytest-benchmark fixture needed::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q
+"""
+
+from dataclasses import asdict
+
+from repro.harness.perf import (
+    SEED_BASELINE,
+    batching_delta,
+    measure_load_point,
+    speedup_vs_seed,
+    update_bench,
+)
+
+
+def test_substrate_speedup_vs_seed():
+    perf = measure_load_point(
+        protocol="primcast",
+        n_dest_groups=2,
+        outstanding=32,
+        warmup_ms=300.0,
+        measure_ms=400.0,
+        batching_ms=0.0,
+        repeats=3,
+        point=SEED_BASELINE["point"],
+    )
+    speedup = speedup_vs_seed(perf)
+    payload = asdict(perf)
+    payload["speedup_vs_seed"] = speedup
+    update_bench("substrate", payload)
+    print(
+        f"\n{perf.point}: wall {perf.wall_s:.2f}s (seed {SEED_BASELINE['wall_s']}s), "
+        f"{perf.events_per_sec:,.0f} events/s, speedup {speedup:.2f}x"
+    )
+    # Determinism guard: the optimised substrate must execute exactly the
+    # event schedule the seed did.
+    assert perf.events == SEED_BASELINE["events"]
+    # The tentpole acceptance bar: >= 2x vs the seed revision.
+    assert speedup >= 2.0, (
+        f"substrate speedup regressed: {speedup:.2f}x < 2x "
+        f"({perf.wall_s:.2f}s vs seed {SEED_BASELINE['wall_s']}s)"
+    )
+
+
+def test_batching_reduces_wire_messages():
+    delta = batching_delta(
+        protocol="primcast", n_dest_groups=2, outstanding=8, batching_ms=2.0
+    )
+    update_bench("batching", delta)
+    off, on = delta["off"], delta["on"]
+    print(
+        f"\nbatching {delta['batching_ms']}ms: wire messages "
+        f"{off['wire_messages']} -> {on['wire_messages']} "
+        f"(-{delta['wire_reduction']:.0%}), "
+        f"throughput {off['throughput']:.0f} -> {on['throughput']:.0f} msg/s"
+    )
+    # Batching must merge a substantial share of the ack/bump traffic
+    # into batch wire messages without wrecking throughput.
+    assert on["wire_messages"] < off["wire_messages"]
+    assert delta["wire_reduction"] > 0.2
+    assert on["message_counts"].get("batch", 0) > 0
+    assert on["throughput"] > 0.8 * off["throughput"]

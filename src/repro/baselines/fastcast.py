@@ -134,8 +134,11 @@ class FastCastProcess(GroupProtocolProcess):
         scheduler: Scheduler,
         network: Network,
         cost_model: Optional[CostModel] = None,
+        batching_ms: float = 0.0,
     ):
-        super().__init__(pid, config, scheduler, network, cost_model)
+        super().__init__(
+            pid, config, scheduler, network, cost_model, batching_ms=batching_ms
+        )
         self.is_leader = config.initial_leader(self.gid) == pid
         self.clock = 0
         self._multicasts: Dict[MessageId, Multicast] = {}

@@ -110,8 +110,11 @@ class WhiteBoxProcess(GroupProtocolProcess):
         scheduler: Scheduler,
         network: Network,
         cost_model: Optional[CostModel] = None,
+        batching_ms: float = 0.0,
     ):
-        super().__init__(pid, config, scheduler, network, cost_model)
+        super().__init__(
+            pid, config, scheduler, network, cost_model, batching_ms=batching_ms
+        )
         self.is_primary = config.initial_leader(self.gid) == pid
         self.clock = 0
         # shared: accepts seen per message (gid -> ts)

@@ -42,6 +42,15 @@ class GroupConfig:
             for gid, quorums in quorum_sets.items():
                 self._validate_quorums(gid, quorums)
                 self.quorum_sets[gid] = [frozenset(q) for q in quorums]
+        # Precomputed per-group member sets and majority sizes: the
+        # quorum predicates run on every ack of every run, so they must
+        # not rebuild these on each call.
+        self._member_sets: List[FrozenSet[int]] = [frozenset(g) for g in self.groups]
+        self._majority_sizes: List[int] = [len(g) // 2 + 1 for g in self.groups]
+        # dest_pids() is called for every multicast submission and every
+        # protocol fan-out; destination sets repeat constantly, so the
+        # sorted-flattened pid list is memoised per destination set.
+        self._dest_pids_cache: Dict[FrozenSet[int], List[int]] = {}
 
     def _validate_quorums(self, gid: int, quorums: List[FrozenSet[int]]) -> None:
         if not 0 <= gid < len(self.groups):
@@ -87,11 +96,19 @@ class GroupConfig:
 
     def dest_pids(self, dest: Iterable[int]) -> List[int]:
         """All pids in the union of the destination groups, sorted by
-        group then position (deterministic send order)."""
-        pids: List[int] = []
-        for gid in sorted(dest):
-            pids.extend(self.groups[gid])
-        return pids
+        group then position (deterministic send order).
+
+        The returned list is memoised and shared between calls with the
+        same destination set — callers must not mutate it.
+        """
+        key = dest if isinstance(dest, frozenset) else frozenset(dest)
+        cached = self._dest_pids_cache.get(key)
+        if cached is None:
+            pids: List[int] = []
+            for gid in sorted(key):
+                pids.extend(self.groups[gid])
+            cached = self._dest_pids_cache[key] = pids
+        return cached
 
     # ------------------------------------------------------------------
     # quorum predicates
@@ -99,11 +116,22 @@ class GroupConfig:
 
     def has_quorum(self, gid: int, pids: Iterable[int]) -> bool:
         """True when ``pids`` contains a quorum of group ``gid``."""
-        pid_set = set(pids)
+        if not isinstance(pids, (set, frozenset)):
+            pids = set(pids)
         quorums = self.quorum_sets.get(gid)
         if quorums is None:
-            return len(pid_set & set(self.groups[gid])) >= self.quorum_size(gid)
-        return any(q <= pid_set for q in quorums)
+            need = self._majority_sizes[gid]
+            if len(pids) < need:
+                return False
+            members = self._member_sets[gid]
+            count = 0
+            for pid in pids:
+                if pid in members:
+                    count += 1
+                    if count >= need:
+                        return True
+            return False
+        return any(q <= pids for q in quorums)
 
     def quorum_clock_value(self, gid: int, min_clocks: Dict[int, int]) -> int:
         """quorum-clock() (Algorithm 1, line 17): the largest ``ts`` such
@@ -117,8 +145,14 @@ class GroupConfig:
         members = self.groups[gid]
         quorums = self.quorum_sets.get(gid)
         if quorums is None:
-            values = sorted((min_clocks.get(pid, 0) for pid in members), reverse=True)
-            return values[self.quorum_size(gid) - 1]
+            get = min_clocks.get
+            values = [get(pid, 0) for pid in members]
+            q = self._majority_sizes[gid]
+            n = len(values)
+            if n == q:  # e.g. singleton groups: quorum = whole group
+                return min(values)
+            values.sort()
+            return values[n - q]
         return max(min(min_clocks.get(pid, 0) for pid in q) for q in quorums)
 
     def __repr__(self) -> str:

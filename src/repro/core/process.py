@@ -18,7 +18,7 @@ import heapq
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..election.omega import OmegaOracle
-from ..rmcast.fifo import RMcastProcess
+from ..rmcast.fifo import Envelope, RMcastProcess
 from ..sim.clock import PhysicalClock
 from ..sim.costs import CostModel
 from ..sim.events import Scheduler
@@ -77,8 +77,11 @@ class PrimCastProcess(RMcastProcess):
         hybrid_clock: bool = False,
         relay: bool = False,
         enable_bumps: bool = True,
+        batching_ms: float = 0.0,
     ):
-        super().__init__(pid, scheduler, network, cost_model, relay=relay)
+        super().__init__(
+            pid, scheduler, network, cost_model, relay=relay, batching_ms=batching_ms
+        )
         if pid not in config.group_of:
             raise ValueError(f"pid {pid} is not a member of any group")
         if hybrid_clock and physical_clock is None:
@@ -120,13 +123,36 @@ class PrimCastProcess(RMcastProcess):
         # Heap of (final_ts, mid) for pending messages whose final ts is
         # decided; stale entries (delivered mids) are skipped lazily.
         self._finals_heap: List[Tuple[int, MessageId]] = []
-        # Lazy min-heap of (min_ts lower bound, mid) over pending
-        # messages. min-ts is monotone (clocks and decided local
-        # timestamps only grow), so a stale key is a valid lower bound
-        # and entries are refreshed on demand.
+        # Lazy min-heap over pending messages, keyed by
+        # ``max(largest decided local ts, own T timestamp)`` — a
+        # per-message monotone surrogate for min-ts that is exact
+        # wherever it can affect a delivery decision (see
+        # _pending_min_excluding). Stale keys are valid lower bounds and
+        # entries are refreshed on demand.
         self._min_heap: List[Tuple[int, MessageId]] = []
         self.deliver_hooks: List[DeliverHook] = []
         self.delivery_log: List[Tuple[MessageId, int, float]] = []
+
+        # Cached quorum-clock() value; invalidated whenever the clock
+        # observations it derives from change (see quorum_clock()).
+        self._qclock_cache: Optional[int] = None
+
+        # r-deliver dispatch by payload class: one dict lookup instead of
+        # a cascade of isinstance checks on the hottest protocol path.
+        # The table holds bound handlers, so instrumentation that
+        # replaces a handler on the instance (e.g. ConvoyProbe) must
+        # update the table entry as well; wrapping ``on_r_deliver``
+        # itself needs no such step — the message fast path defers to it
+        # whenever it is overridden on the instance.
+        self._r_dispatch: Dict[type, Callable[[int, Any], None]] = {
+            Ack: self._on_ack,
+            Start: self._on_start,
+            Bump: self._on_bump,
+            NewEpoch: self._on_new_epoch,
+            EpochPromise: self._on_epoch_promise,
+            NewState: self._on_new_state,
+            AcceptEpoch: self._on_accept_epoch,
+        }
 
         self._next_seq = 0
         self.omega = omega
@@ -186,23 +212,43 @@ class PrimCastProcess(RMcastProcess):
     # r-deliver dispatch
     # ------------------------------------------------------------------
 
+    def on_message(self, src: int, msg: Any) -> None:
+        # Fast path for the overwhelmingly common case: a first-delivery,
+        # non-relayed envelope. Combines the rmcast dedupe with payload
+        # dispatch in one frame; relay mode, batches, duplicates via
+        # subclassed envelopes and raw messages take the generic path.
+        # Instrumentation (spec recorder, invariant checkers) wraps
+        # on_r_deliver as an instance attribute — honour such overrides.
+        if msg.__class__ is Envelope:
+            rm = self.rm
+            if not rm.relay and "on_r_deliver" not in self.__dict__:
+                key = (msg.origin, msg.seq)
+                delivered = rm._delivered
+                if key in delivered:
+                    return
+                delivered.add(key)
+                payload = msg.payload
+                handler = self._r_dispatch.get(payload.__class__)
+                if handler is not None:
+                    handler(msg.origin, payload)
+                else:
+                    self.on_r_deliver(msg.origin, payload)
+                return
+        super().on_message(src, msg)
+
     def on_r_deliver(self, origin: int, payload: Any) -> None:
-        if isinstance(payload, Ack):
-            self._on_ack(origin, payload)
-        elif isinstance(payload, Start):
-            self._on_start(origin, payload)
-        elif isinstance(payload, Bump):
-            self._on_bump(origin, payload)
-        elif isinstance(payload, NewEpoch):
-            self._on_new_epoch(origin, payload)
-        elif isinstance(payload, EpochPromise):
-            self._on_epoch_promise(origin, payload)
-        elif isinstance(payload, NewState):
-            self._on_new_state(origin, payload)
-        elif isinstance(payload, AcceptEpoch):
-            self._on_accept_epoch(origin, payload)
-        else:
-            raise TypeError(f"unexpected r-delivered payload: {payload!r}")
+        handler = self._r_dispatch.get(payload.__class__)
+        if handler is None:
+            # Subclassed payloads fall back to the isinstance scan once,
+            # then are memoized in the dispatch table.
+            for cls, h in list(self._r_dispatch.items()):
+                if isinstance(payload, cls):
+                    self._r_dispatch[payload.__class__] = h
+                    handler = h
+                    break
+            else:
+                raise TypeError(f"unexpected r-delivered payload: {payload!r}")
+        handler(origin, payload)
 
     # ------------------------------------------------------------------
     # Algorithm 2 — timestamping
@@ -242,7 +288,9 @@ class PrimCastProcess(RMcastProcess):
         if mid not in self.delivered:
             self.pending.add(mid)
             # Seed the lazy heaps; the bound is refreshed on demand.
-            heapq.heappush(self._min_heap, (0, mid))
+            # ts is a valid lower bound of the heap key (see
+            # _pending_min_excluding).
+            heapq.heappush(self._min_heap, (ts, mid))
             final = self._final_cache.get(mid)
             if final is not None:
                 heapq.heappush(self._finals_heap, (final, mid))
@@ -263,8 +311,16 @@ class PrimCastProcess(RMcastProcess):
         # A remote ack doubles as a start tuple (line 47); for own-group
         # acks the multicast object it carries is the same payload, so
         # storing it is equivalent to having r-delivered the start.
-        self.started.setdefault(mid, multicast)
-        tracker = self.acks.setdefault(mid, {}).setdefault(ack.group, AckTracker())
+        started = self.started
+        if mid not in started:
+            started[mid] = multicast
+        acks = self.acks
+        trackers = acks.get(mid)
+        if trackers is None:
+            trackers = acks[mid] = {}
+        tracker = trackers.get(ack.group)
+        if tracker is None:
+            tracker = trackers[ack.group] = AckTracker()
         decided_now = tracker.add_ack(
             self.config, ack.group, ack.epoch, ack.ts, ack.sender, mid
         )
@@ -272,6 +328,8 @@ class PrimCastProcess(RMcastProcess):
         if ack.group == self.gid:
             # Clock value implicitly propagated inside the group (§5.2.4).
             changed = self.clocks.observe(self.e_cur, ack.epoch, ack.ts, ack.sender)
+            if changed:
+                self._qclock_cache = None
             if (
                 ack.sender == ack.epoch.leader
                 and ack.epoch == self.e_cur
@@ -305,6 +363,7 @@ class PrimCastProcess(RMcastProcess):
     def _on_bump(self, origin: int, bump: Bump) -> None:
         """Lines 51-52: record the clock observation."""
         if self.clocks.observe(self.e_cur, bump.epoch, bump.ts, bump.sender):
+            self._qclock_cache = None
             self._try_deliver()
 
     # ------------------------------------------------------------------
@@ -326,10 +385,13 @@ class PrimCastProcess(RMcastProcess):
         final = 0
         for gid in multicast.dest:
             tracker = trackers.get(gid)
-            if tracker is None or tracker.local_ts is None:
+            if tracker is None:
                 return None
-            if tracker.local_ts > final:
-                final = tracker.local_ts
+            ts = tracker.decided_ts
+            if ts is None:
+                return None
+            if ts > final:
+                final = ts
         self._final_cache[mid] = final
         if mid in self.pending:
             heapq.heappush(self._finals_heap, (final, mid))
@@ -347,8 +409,18 @@ class PrimCastProcess(RMcastProcess):
 
     def quorum_clock(self) -> int:
         """Line 17: lower bound for the starting clock of any epoch
-        higher than E_cur, via quorum intersection."""
-        return self.config.quorum_clock_value(self.gid, self.clocks.values)
+        higher than E_cur, via quorum intersection.
+
+        Cached between clock changes: every mutation of the min-clock
+        observations (acks, bumps, epoch advances) clears the cache, so
+        the quorum computation runs once per change instead of once per
+        delivery attempt.
+        """
+        cached = self._qclock_cache
+        if cached is None:
+            cached = self.config.quorum_clock_value(self.gid, self.clocks.values)
+            self._qclock_cache = cached
+        return cached
 
     def min_ts(self, mid: MessageId) -> Tuple[int, ...]:
         """Line 19: lower bound for final-ts(mid). Public wrapper used by
@@ -364,51 +436,79 @@ class PrimCastProcess(RMcastProcess):
         if trackers is not None:
             for gid in multicast.dest:
                 tracker = trackers.get(gid)
-                if tracker is not None and tracker.local_ts is not None:
-                    if tracker.local_ts > known_max:
-                        known_max = tracker.local_ts
+                if tracker is not None:
+                    ts = tracker.decided_ts
+                    if ts is not None and ts > known_max:
+                        known_max = ts
+        lower = leader_clock + 1 if leader_clock <= qclock else qclock + 1
         entry = self.t_by_mid.get(mid)
-        t_ts = entry[1] if entry is not None else None
-        lower = min(
-            t_ts if t_ts is not None else float("inf"),
-            1 + leader_clock,
-            1 + qclock,
-        )
-        return max(known_max, lower)
+        if entry is not None and entry[1] < lower:
+            lower = entry[1]
+        return known_max if known_max > lower else lower
 
     # ------------------------------------------------------------------
     # delivery (lines 26-30 and 53-56)
     # ------------------------------------------------------------------
 
     def _pending_min_excluding(
-        self, exclude: MessageId, leader_clock: int, qclock: int
+        self, exclude: MessageId
     ) -> Optional[Tuple[int, MessageId]]:
-        """Smallest ``(min-ts, mid)`` over pending messages other than
-        ``exclude``, via the lazy heap.
+        """Smallest heap entry over pending messages other than
+        ``exclude``, for the line-30 comparison in :meth:`_try_deliver`.
 
-        Heap keys are lower bounds of the (monotone) min-ts values:
-        stale tops are recomputed and pushed back until the top is
-        current. Entries for delivered messages are dropped.
+        Every pending message is in T (pending is only populated by
+        ``_t_append``), so its min-ts is
+        ``max(known_max, min(base_lower, t_ts))`` where ``known_max`` is
+        the largest decided local ts, ``t_ts`` its timestamp in T and
+        ``base_lower = min(leader-clock, quorum-clock) + 1``. The heap
+        key used here is ``max(known_max, t_ts)`` — it drops the
+        ``base_lower`` term, making keys *per-message monotone* (so lazy
+        refreshing needs no global input) while preserving every
+        delivery decision: _try_deliver only consults the result after
+        establishing ``final < base_lower``, and wherever the key
+        differs from true min-ts (``t_ts >= base_lower``) both exceed
+        ``final``, so neither can satisfy the blocking comparison.
+
+        Stale tops are recomputed and pushed back until the top is
+        current; entries for delivered messages are dropped.
         """
         heap = self._min_heap
-        set_aside: List[Tuple[int, MessageId]] = []
+        set_aside: Optional[List[Tuple[int, MessageId]]] = None
         result: Optional[Tuple[int, MessageId]] = None
+        pending = self.pending
+        started = self.started
+        acks = self.acks
+        t_by_mid = self.t_by_mid
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
         while heap:
-            bound, mid = heap[0]
-            if mid not in self.pending:
-                heapq.heappop(heap)
+            top = heap[0]
+            mid = top[1]
+            if mid not in pending:
+                heappop(heap)
                 continue
             if mid == exclude:
-                set_aside.append(heapq.heappop(heap))
+                if set_aside is None:
+                    set_aside = []
+                set_aside.append(heappop(heap))
                 continue
-            current = self._min_ts(mid, leader_clock, qclock)
-            if current > bound:
-                heapq.heapreplace(heap, (current, mid))
+            current = t_by_mid[mid][1]
+            trackers = acks.get(mid)
+            if trackers is not None:
+                for gid in started[mid].dest:
+                    tracker = trackers.get(gid)
+                    if tracker is not None:
+                        ts = tracker.decided_ts
+                        if ts is not None and ts > current:
+                            current = ts
+            if current > top[0]:
+                heapreplace(heap, (current, mid))
                 continue
-            result = (bound, mid)
+            result = top
             break
-        for entry in set_aside:
-            heapq.heappush(heap, entry)
+        if set_aside:
+            for entry in set_aside:
+                heapq.heappush(heap, entry)
         return result
 
     def _try_deliver(self) -> None:
@@ -424,12 +524,14 @@ class PrimCastProcess(RMcastProcess):
         finals = self._finals_heap
         if not finals:
             return
-        leader_clock = self.clocks.min_clock(self.e_cur.leader)
+        leader_clock = self.clocks.values.get(self.e_cur.leader, 0)
         qclock = self.quorum_clock()
+        pending = self.pending
+        heappop = heapq.heappop
         while finals:
             best_final, best_mid = finals[0]
-            if best_mid not in self.pending:
-                heapq.heappop(finals)
+            if best_mid not in pending:
+                heappop(finals)
                 continue
             # Lines 28-29: no new proposal in E_cur or in any later
             # epoch may be smaller than final-ts(m).
@@ -437,10 +539,10 @@ class PrimCastProcess(RMcastProcess):
                 return
             # Line 30: strictly smaller than the smallest possible
             # timestamp of any other pending message.
-            other = self._pending_min_excluding(best_mid, leader_clock, qclock)
+            other = self._pending_min_excluding(best_mid)
             if other is not None and (best_final, best_mid) >= other:
                 return
-            heapq.heappop(finals)
+            heappop(finals)
             self._deliver(best_mid, best_final)
 
     def _deliver(self, mid: MessageId, final: int) -> None:
@@ -510,9 +612,9 @@ class PrimCastProcess(RMcastProcess):
         }
         for _, multicast, _ in self.t_list:
             self.started.setdefault(multicast.mid, multicast)
-        # Rebuild the delivery heaps: the epoch (and hence the leader the
-        # min-ts bound depends on) changed, so old bounds are void.
-        self._min_heap = [(0, mid) for mid in self.pending]
+        # Rebuild the delivery heaps from the new T (the T timestamps,
+        # which seed the min-heap keys, may have changed).
+        self._min_heap = [(self.t_by_mid[mid][1], mid) for mid in self.pending]
         heapq.heapify(self._min_heap)
         self._finals_heap = [
             (self._final_cache[mid], mid)
@@ -525,6 +627,7 @@ class PrimCastProcess(RMcastProcess):
                 self.final_ts(mid)
         self.e_cur = msg.epoch
         self.clocks.advance_epoch(self.e_cur)
+        self._qclock_cache = None
         if msg.ts > self.clock:
             self.clock = msg.ts
         self.r_multicast(AcceptEpoch(self.e_cur, self.pid), self.group_members)

@@ -48,22 +48,33 @@ class AckTracker:
         mid: MessageId,
     ) -> bool:
         """Record an ack; returns True if this decided the local ts."""
-        entry = self.by_epoch.get(epoch)
+        by_epoch = self.by_epoch
+        if self.decided_ts is not None:
+            # The local ts is already fixed; the common late acks (every
+            # group member acks every message) only need the conflict
+            # check — sender-set upkeep cannot change the decision.
+            entry = by_epoch.get(epoch)
+            if entry is not None and entry[0] != ts:
+                raise SafetyViolationError(
+                    f"conflicting ack timestamps for m={mid} in group {group} "
+                    f"epoch {epoch}: {entry[0]} vs {ts}"
+                )
+            return False
+        entry = by_epoch.get(epoch)
         if entry is None:
-            self.by_epoch[epoch] = (ts, {sender})
-            entry = self.by_epoch[epoch]
+            senders = {sender}
+            by_epoch[epoch] = (ts, senders)
         else:
             if entry[0] != ts:
                 raise SafetyViolationError(
                     f"conflicting ack timestamps for m={mid} in group {group} "
                     f"epoch {epoch}: {entry[0]} vs {ts}"
                 )
-            entry[1].add(sender)
-        if self.decided_ts is not None:
-            return False
-        if config.has_quorum(group, entry[1]):
+            senders = entry[1]
+            senders.add(sender)
+        if config.has_quorum(group, senders):
             self.decided_epoch = epoch
-            self.decided_ts = entry[0]
+            self.decided_ts = ts
             return True
         return False
 
@@ -95,8 +106,9 @@ class ClockTracker:
         if epoch > e_cur:
             self.deferred.append((epoch, ts, sender))
             return False
-        if ts > self.values.get(sender, 0):
-            self.values[sender] = ts
+        values = self.values
+        if ts > values.get(sender, 0):
+            values[sender] = ts
             return True
         return False
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..core.messages import MessageId
+from ..core.messages import MessageId, Start
 from ..core.process import PrimCastProcess
 from .metrics import summarize
 
@@ -49,6 +49,9 @@ class ConvoyProbe:
             original_start(origin, start)
 
         proc._on_start = on_start  # type: ignore[method-assign]
+        # The process dispatches r-deliveries through its handler table;
+        # instance-level handler overrides must be mirrored there.
+        proc._r_dispatch[Start] = on_start
         proc.add_deliver_hook(self._on_deliver)
 
     def _on_deliver(self, proc: PrimCastProcess, multicast, final_ts: int) -> None:

@@ -1,0 +1,200 @@
+"""Wall-clock performance harness for the simulation substrate.
+
+The paper-reproduction benches are bounded by how fast the simulator
+executes events, so the substrate's own speed is tracked as a first-class
+metric. This module measures wall-clock seconds and simulated events/sec
+for standard load points, optionally captures a cProfile, quantifies the
+wire-message savings of the opt-in §7.1 ack/bump batching layer, and
+records everything in ``BENCH_perf.json`` so regressions (or wins) are
+visible across PRs — see the "Perf trajectory" section of EXPERIMENTS.md.
+
+Conventions:
+
+* Wall times are **best-of-N** (default 3): the minimum is the least
+  noisy estimator of the achievable time on a busy machine.
+* The seed baseline (:data:`SEED_BASELINE`) was measured on the same
+  smoke point before the substrate optimisation work; speedups reported
+  by :func:`speedup_vs_seed` are relative to it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..workload.scenarios import Scenario, wan_colocated_leaders
+from .runner import RunResult, run_load_point
+
+#: Default location of the perf record, at the repository root.
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_perf.json"
+
+#: Seed-revision baseline for the standard smoke point (Fig 3 scenario,
+#: 2 destination groups, 32 outstanding, 700 ms simulated): best-of-2
+#: wall seconds and the (deterministic) event count of that run.
+SEED_BASELINE = {
+    "point": "fig3-wan-colocated-d2-o32",
+    "wall_s": 10.139,
+    "events": 660110,
+}
+
+
+@dataclass
+class PerfPoint:
+    """Wall-clock measurement of one simulated load point."""
+
+    point: str
+    protocol: str
+    scenario: str
+    n_dest_groups: int
+    outstanding: int
+    batching_ms: float
+    #: best-of-``repeats`` wall-clock seconds
+    wall_s: float
+    #: every measured repeat, in order
+    walls_s: list = field(default_factory=list)
+    #: simulated events executed in one run
+    events: int = 0
+    #: simulated events per wall-clock second (best run)
+    events_per_sec: float = 0.0
+    #: delivered msg/s inside the measurement window (simulated)
+    throughput: float = 0.0
+    #: total wire messages over the run
+    wire_messages: int = 0
+    message_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def measure_load_point(
+    protocol: str = "primcast",
+    scenario: Optional[Scenario] = None,
+    n_dest_groups: int = 2,
+    outstanding: int = 32,
+    seed: int = 1,
+    warmup_ms: float = 300.0,
+    measure_ms: float = 400.0,
+    batching_ms: float = 0.0,
+    repeats: int = 3,
+    point: Optional[str] = None,
+    profile: bool = False,
+) -> PerfPoint:
+    """Run one load point ``repeats`` times and report best-of wall time.
+
+    With ``profile=True`` the last repeat runs under cProfile and the top
+    functions (by internal time) are printed — note cProfile inflates
+    wall time roughly 2-3x, so profiled runs are excluded from timing.
+    """
+    if scenario is None:
+        scenario = wan_colocated_leaders()
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    kwargs: Dict[str, Any] = dict(
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        seed=seed,
+        keep_samples=False,
+        batching_ms=batching_ms,
+    )
+    walls = []
+    result: Optional[RunResult] = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_load_point(protocol, scenario, n_dest_groups, outstanding, **kwargs)
+        walls.append(time.perf_counter() - t0)
+    assert result is not None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_load_point(protocol, scenario, n_dest_groups, outstanding, **kwargs)
+        profiler.disable()
+        out = io.StringIO()
+        pstats.Stats(profiler, stream=out).sort_stats("tottime").print_stats(20)
+        print(out.getvalue())
+    best = min(walls)
+    name = point or (
+        f"{scenario.name}-{protocol}-d{n_dest_groups}-o{outstanding}"
+        + (f"-b{batching_ms:g}" if batching_ms else "")
+    )
+    return PerfPoint(
+        point=name,
+        protocol=protocol,
+        scenario=scenario.name,
+        n_dest_groups=n_dest_groups,
+        outstanding=outstanding,
+        batching_ms=batching_ms,
+        wall_s=best,
+        walls_s=[round(w, 4) for w in walls],
+        events=result.events,
+        events_per_sec=result.events / best if best > 0 else 0.0,
+        throughput=result.throughput,
+        wire_messages=sum(result.message_counts.values()),
+        message_counts=dict(result.message_counts),
+    )
+
+
+def speedup_vs_seed(perf: PerfPoint) -> float:
+    """Wall-clock speedup of ``perf`` relative to :data:`SEED_BASELINE`
+    (only meaningful for the standard smoke point)."""
+    return SEED_BASELINE["wall_s"] / perf.wall_s
+
+
+def batching_delta(
+    protocol: str = "primcast",
+    scenario: Optional[Scenario] = None,
+    n_dest_groups: int = 2,
+    outstanding: int = 8,
+    batching_ms: float = 2.0,
+    seed: int = 1,
+    warmup_ms: float = 300.0,
+    measure_ms: float = 400.0,
+) -> Dict[str, Any]:
+    """Wire-message comparison of one load point with batching off vs on.
+
+    Returns a dict with both :class:`PerfPoint` measurements and the
+    relative wire-message reduction — the simulated counterpart of the
+    §7.1 TCP message-merging experiment.
+    """
+    if scenario is None:
+        scenario = wan_colocated_leaders()
+    common = dict(
+        protocol=protocol,
+        scenario=scenario,
+        n_dest_groups=n_dest_groups,
+        outstanding=outstanding,
+        seed=seed,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        repeats=1,
+    )
+    off = measure_load_point(batching_ms=0.0, **common)
+    on = measure_load_point(batching_ms=batching_ms, **common)
+    reduction = 1.0 - on.wire_messages / off.wire_messages if off.wire_messages else 0.0
+    return {
+        "off": asdict(off),
+        "on": asdict(on),
+        "batching_ms": batching_ms,
+        "wire_reduction": reduction,
+    }
+
+
+def update_bench(key: str, payload: Any, path: Optional[Path] = None) -> Path:
+    """Merge ``payload`` under ``key`` into ``BENCH_perf.json``.
+
+    Existing keys other than ``key`` are preserved, so the substrate and
+    batching benches can update their sections independently.
+    """
+    target = Path(path) if path is not None else BENCH_PATH
+    record: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            record = json.loads(target.read_text())
+        except (ValueError, OSError):
+            record = {}
+    record[key] = payload
+    record["seed_baseline"] = SEED_BASELINE
+    target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return target

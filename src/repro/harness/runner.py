@@ -56,6 +56,7 @@ def build_system(
     cost_model: Optional[CostModel] = None,
     omega_poll_ms: Optional[float] = None,
     epsilon_ms: Optional[float] = None,
+    batching_ms: float = 0.0,
 ) -> System:
     """Instantiate one protocol deployment on one scenario.
 
@@ -67,6 +68,9 @@ def build_system(
             polling interval (None = static leaders, no failure handling
             needed for stable-leader experiments).
         epsilon_ms: clock skew bound override for the HC variant.
+        batching_ms: opt-in ack/bump coalescing window per channel
+            (models the prototype's §7.1 TCP batching); 0 = off, which
+            is wire-identical to the seed behaviour.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
@@ -96,6 +100,7 @@ def build_system(
                 omega=None,
                 physical_clock=clocks[pid],
                 hybrid_clock=hybrid,
+                batching_ms=batching_ms,
             )
         if omega_poll_ms is not None:
             oracles = make_oracles(config.groups, processes, scheduler, omega_poll_ms)
@@ -104,10 +109,14 @@ def build_system(
                 proc.omega.subscribe(proc._on_omega_output)
     elif protocol == "whitebox":
         for pid in config.all_pids:
-            processes[pid] = WhiteBoxProcess(pid, config, scheduler, network, costs)
+            processes[pid] = WhiteBoxProcess(
+                pid, config, scheduler, network, costs, batching_ms=batching_ms
+            )
     else:  # fastcast
         for pid in config.all_pids:
-            processes[pid] = FastCastProcess(pid, config, scheduler, network, costs)
+            processes[pid] = FastCastProcess(
+                pid, config, scheduler, network, costs, batching_ms=batching_ms
+            )
 
     return System(protocol, scenario, scheduler, network, config, processes, oracles)
 
@@ -152,14 +161,23 @@ def run_load_point(
     cost_model: Optional[CostModel] = None,
     epsilon_ms: Optional[float] = None,
     keep_samples: bool = True,
+    batching_ms: float = 0.0,
 ) -> RunResult:
     """Run one (protocol, scenario, destinations, load) point.
 
     Clients issue messages from t=0; samples delivered inside
     ``[warmup_ms, warmup_ms + measure_ms)`` are counted.
+
+    ``batching_ms > 0`` enables the per-channel ack/bump coalescing layer
+    (§7.1 batching); the default of 0 is wire-identical to no batching.
     """
     system = build_system(
-        protocol, scenario, seed=seed, cost_model=cost_model, epsilon_ms=epsilon_ms
+        protocol,
+        scenario,
+        seed=seed,
+        cost_model=cost_model,
+        epsilon_ms=epsilon_ms,
+        batching_ms=batching_ms,
     )
     rng = child_rng(seed, "workload")
     clients = make_clients(

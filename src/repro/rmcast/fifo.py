@@ -18,26 +18,44 @@ Implementation notes:
   allows. An optional *relay* mode re-forwards every first delivery to
   the remaining destinations, making delivery resilient to sender crashes
   at the cost of redundant traffic.
+
+Batching (opt-in, default off — §7.1's TCP message merging):
+
+The paper's Rust prototype owes much of its throughput to batching the
+small mergeable ``ack``/``bump`` messages on each TCP connection. The
+endpoint reproduces that lever: with ``batching_ms > 0``, batchable
+envelopes departing on the same ``(src, dst)`` channel within the flush
+window are packed into a single :class:`Batch` wire message. Per-channel
+FIFO is preserved — a non-batchable envelope flushes the channel's
+pending batch before departing, so no envelope ever overtakes another on
+one channel. With ``batching_ms == 0`` (the default) the layer is
+completely inert and the wire trace is identical to the unbatched one.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.costs import CostModel
 from ..sim.events import Scheduler
 from ..sim.network import Network
 from ..sim.process import SimProcess
 
+#: Payload kinds the batching layer may coalesce: PrimCast's small
+#: mergeable acknowledgement traffic (§7.1). Everything else always
+#: departs immediately.
+BATCHABLE_KINDS = frozenset(("ack", "bump"))
+
 
 class Envelope:
     """Wire wrapper for an r-multicast payload.
 
-    Exposes the payload's ``kind`` so the CPU cost model charges for the
-    actual protocol message being carried.
+    Exposes the payload's ``kind`` (precomputed at construction — the
+    network and the cost model read it on every hop) so the CPU cost
+    model charges for the actual protocol message being carried.
     """
 
-    __slots__ = ("origin", "seq", "payload", "dests", "relayed")
+    __slots__ = ("origin", "seq", "payload", "dests", "relayed", "kind")
 
     def __init__(self, origin: int, seq: int, payload: Any, dests: Tuple[int, ...], relayed: bool = False):
         self.origin = origin
@@ -45,10 +63,10 @@ class Envelope:
         self.payload = payload
         self.dests = dests
         self.relayed = relayed
-
-    @property
-    def kind(self) -> str:
-        return getattr(self.payload, "kind", "rm")
+        try:
+            self.kind = payload.kind
+        except AttributeError:
+            self.kind = "rm"
 
     @property
     def mid(self):
@@ -59,19 +77,58 @@ class Envelope:
         return f"<Envelope {self.origin}:{self.seq} {self.kind}>"
 
 
+class Batch:
+    """A coalesced train of envelopes on one ``(src, dst)`` channel.
+
+    One wire message regardless of how many envelopes it carries — the
+    simulated counterpart of the prototype merging consecutive small
+    messages on a TCP connection (§7.1). Envelopes are unwrapped in
+    send order at the receiver, preserving channel FIFO.
+    """
+
+    __slots__ = ("envelopes",)
+    kind = "batch"
+
+    def __init__(self, envelopes: Tuple[Envelope, ...]):
+        self.envelopes = envelopes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Batch of {len(self.envelopes)}>"
+
+
 class FifoReliableMulticast:
     """Per-process endpoint of the reliable multicast layer.
 
     Args:
         owner: the process this endpoint belongs to.
         relay: enable crash-resilient relaying of first deliveries.
+        batching_ms: flush window for ack/bump coalescing; 0 disables
+            batching entirely (the default — wire-identical to the
+            unbatched protocol).
+        batch_kinds: payload kinds eligible for coalescing.
     """
 
-    def __init__(self, owner: SimProcess, relay: bool = False):
+    def __init__(
+        self,
+        owner: SimProcess,
+        relay: bool = False,
+        batching_ms: float = 0.0,
+        batch_kinds: frozenset = BATCHABLE_KINDS,
+    ):
+        if batching_ms < 0:
+            raise ValueError(f"batching_ms must be non-negative, got {batching_ms}")
         self.owner = owner
         self.relay = relay
+        self.batching_ms = batching_ms
+        self.batch_kinds = batch_kinds
         self._next_seq = 0
         self._delivered: Set[Tuple[int, int]] = set()
+        # Per-destination coalescing buffers (only used when batching).
+        self._pending: Dict[int, List[Envelope]] = {}
+        self._armed: Set[int] = set()
+        #: Batches actually sent / payloads they carried (perf reporting).
+        self.batches_sent = 0
+        self.batched_payloads = 0
 
     def multicast(self, payload: Any, dests: Iterable[int]) -> None:
         """r-multicast ``payload`` to process ids ``dests``.
@@ -80,10 +137,77 @@ class FifoReliableMulticast:
         (self-channel, zero latency).
         """
         dests = tuple(dests)
-        env = Envelope(self.owner.pid, self._next_seq, payload, dests)
+        owner = self.owner
+        env = Envelope(owner.pid, self._next_seq, payload, dests)
         self._next_seq += 1
+        send = owner.send
+        if self.batching_ms > 0.0:
+            own_pid = owner.pid
+            if env.kind in self.batch_kinds:
+                for dst in dests:
+                    # The self-channel is not a wire; deliver directly.
+                    if dst == own_pid:
+                        send(dst, env)
+                    else:
+                        self._enqueue_batched(dst, env)
+                return
+            # Non-batchable: flush any pending batch on each channel
+            # first so envelopes never overtake each other (FIFO).
+            pending = self._pending
+            for dst in dests:
+                if pending.get(dst):
+                    self._flush(dst)
+                send(dst, env)
+            return
+        if owner._in_handler and not owner.crashed:
+            # Fast path: sends from inside a handler only append to the
+            # owner's outgoing queue — skip the per-destination
+            # ``send()`` frame (this loop runs for every multicast of
+            # every protocol).
+            append = owner._outgoing.append
+            for dst in dests:
+                append((dst, env))
+            return
         for dst in dests:
-            self.owner.send(dst, env)
+            send(dst, env)
+
+    # ------------------------------------------------------------------
+    # batching internals
+    # ------------------------------------------------------------------
+
+    def _enqueue_batched(self, dst: int, env: Envelope) -> None:
+        buf = self._pending.get(dst)
+        if buf is None:
+            buf = self._pending[dst] = []
+        buf.append(env)
+        if dst not in self._armed:
+            self._armed.add(dst)
+            self.owner.scheduler.call_after(self.batching_ms, self._flush_timer, dst)
+
+    def _flush_timer(self, dst: int) -> None:
+        self._armed.discard(dst)
+        self._flush(dst)
+
+    def _flush(self, dst: int) -> None:
+        buf = self._pending.get(dst)
+        if not buf:
+            return
+        self._pending[dst] = []
+        if len(buf) == 1:
+            self.owner.send(dst, buf[0])
+        else:
+            self.batches_sent += 1
+            self.batched_payloads += len(buf)
+            self.owner.send(dst, Batch(tuple(buf)))
+
+    def flush_all(self) -> None:
+        """Flush every pending batch immediately (e.g. before shutdown)."""
+        for dst in list(self._pending):
+            self._flush(dst)
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
 
     def handle(self, src: int, env: Envelope) -> Optional[Tuple[int, Any]]:
         """Process an incoming envelope.
@@ -92,13 +216,15 @@ class FifoReliableMulticast:
         r-delivery), or ``None`` for duplicates.
         """
         key = (env.origin, env.seq)
-        if key in self._delivered:
+        delivered = self._delivered
+        if key in delivered:
             return None
-        self._delivered.add(key)
+        delivered.add(key)
         if self.relay and not env.relayed and env.origin != self.owner.pid:
             fwd = Envelope(env.origin, env.seq, env.payload, env.dests, relayed=True)
+            own_pid = self.owner.pid
             for dst in env.dests:
-                if dst != self.owner.pid and dst != env.origin:
+                if dst != own_pid and dst != env.origin:
                     self.owner.send(dst, fwd)
         return env.origin, env.payload
 
@@ -108,6 +234,10 @@ class RMcastProcess(SimProcess):
 
     Subclasses implement :meth:`on_r_deliver`; everything arriving over
     the network is unwrapped and deduplicated by the rmcast endpoint.
+
+    Args:
+        batching_ms: opt-in ack/bump coalescing window (see
+            :class:`FifoReliableMulticast`); 0 = off.
     """
 
     def __init__(
@@ -117,20 +247,32 @@ class RMcastProcess(SimProcess):
         network: Network,
         cost_model: Optional[CostModel] = None,
         relay: bool = False,
+        batching_ms: float = 0.0,
     ):
         super().__init__(pid, scheduler, network, cost_model)
-        self.rm = FifoReliableMulticast(self, relay=relay)
+        self.rm = FifoReliableMulticast(self, relay=relay, batching_ms=batching_ms)
 
     def r_multicast(self, payload: Any, dests: Iterable[int]) -> None:
         """r-multicast ``payload`` to the given process ids."""
         self.rm.multicast(payload, dests)
 
     def on_message(self, src: int, msg: Any) -> None:
-        if isinstance(msg, Envelope):
+        cls = msg.__class__
+        if cls is Envelope:
             result = self.rm.handle(src, msg)
             if result is not None:
-                origin, payload = result
-                self.on_r_deliver(origin, payload)
+                self.on_r_deliver(result[0], result[1])
+        elif cls is Batch:
+            handle = self.rm.handle
+            on_r_deliver = self.on_r_deliver
+            for env in msg.envelopes:
+                result = handle(src, env)
+                if result is not None:
+                    on_r_deliver(result[0], result[1])
+        elif isinstance(msg, Envelope):
+            result = self.rm.handle(src, msg)
+            if result is not None:
+                self.on_r_deliver(result[0], result[1])
         else:
             self.on_raw_message(src, msg)
 

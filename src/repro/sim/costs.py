@@ -44,12 +44,20 @@ class CostModel:
 
     def recv_cost(self, msg: Any) -> float:
         """CPU time the receiver spends handling ``msg``."""
-        kind = getattr(msg, "kind", None)
+        # Wire message classes expose a class-level ``kind``; the
+        # exception path only triggers for kindless test payloads.
+        try:
+            kind = msg.kind
+        except AttributeError:
+            return self.default_recv
         return self.recv_costs.get(kind, self.default_recv)
 
     def send_cost(self, msg: Any) -> float:
         """CPU time the sender spends serializing/writing ``msg``."""
-        kind = getattr(msg, "kind", None)
+        try:
+            kind = msg.kind
+        except AttributeError:
+            return self.default_send
         return self.send_costs.get(kind, self.default_send)
 
 
@@ -109,6 +117,9 @@ def default_cost_model(scale: float = 1.0) -> CostModel:
         # client interaction
         "client-request": control,
         "client-reply": control,
+        # a coalesced ack/bump batch (rmcast batching layer): one wire
+        # message regardless of contents — the §7.1 merge amortization.
+        "batch": control,
     }
     send = {kind: cost / 2.0 for kind, cost in recv.items()}
     return CostModel(recv, send, default_recv=control, default_send=control / 2.0)

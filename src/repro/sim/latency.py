@@ -10,7 +10,7 @@ deviation; :class:`SiteMatrixLatency` reproduces that. All models return
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 
 class LatencyModel:
@@ -113,16 +113,25 @@ class SiteMatrixLatency(LatencyModel):
         self.site_of = dict(site_of)
         self.rtt_ms: List[List[float]] = [list(row) for row in rtt_ms]
         self.stddev_frac = stddev_frac
+        # (src, dst) -> (mean, stddev, floor), filled on first use. The
+        # pair space is tiny (n_processes²) and sample() runs once per
+        # wire message, so the two dict lookups + division are worth
+        # caching away.
+        self._pair_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
 
     def mean(self, src: int, dst: int) -> float:
         return self.rtt_ms[self.site_of[src]][self.site_of[dst]] / 2.0
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
-        mean = self.mean(src, dst)
-        if mean == 0 or self.stddev_frac == 0:
+        entry = self._pair_cache.get((src, dst))
+        if entry is None:
+            mean = self.rtt_ms[self.site_of[src]][self.site_of[dst]] / 2.0
+            entry = (mean, mean * self.stddev_frac, 0.1 * mean)
+            self._pair_cache[(src, dst)] = entry
+        mean, stddev, floor = entry
+        if mean == 0 or stddev == 0:
             return mean
-        value = rng.gauss(mean, mean * self.stddev_frac)
-        floor = 0.1 * mean
+        value = rng.gauss(mean, stddev)
         return value if value > floor else floor
 
     def __repr__(self) -> str:

@@ -15,6 +15,7 @@ Protocol implementations subclass :class:`SimProcess` and override
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .costs import CostModel
@@ -49,6 +50,13 @@ class SimProcess:
         self._serving = False
         self._outgoing: List[Tuple[int, Any]] = []
         self._in_handler = False
+        # Pre-bound hot methods: storing the bound method in the instance
+        # dict means the network / event loop fetch it without creating a
+        # fresh bound-method object per event (they are scheduled a
+        # million times per load sweep). Most-derived overrides are
+        # picked up because binding happens through ``self``.
+        self.enqueue_message = self.enqueue_message  # type: ignore[method-assign]
+        self._serve = self._serve  # type: ignore[method-assign]
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -95,18 +103,31 @@ class SimProcess:
     # ------------------------------------------------------------------
     # CPU queue machinery
     # ------------------------------------------------------------------
+    #
+    # Inbox entries are ``(src, msg)`` for messages and ``(None, fn)``
+    # for posted jobs; the hot functions below bind attributes to locals
+    # and use the scheduler's allocation-free fast path, since one of
+    # them runs for every event of every load sweep.
 
     def enqueue_message(self, src: int, msg: Any) -> None:
         """Called by the network when a message arrives."""
         if self.crashed:
             return
-        self._inbox.append(("msg", src, msg))
-        self._maybe_start_service()
+        self._inbox.append((src, msg))
+        if not self._serving:
+            self._serving = True
+            sched = self.scheduler
+            start = self.busy_until
+            if start < sched.now:
+                start = sched.now
+            # start >= now, so the scheduler's past-check is elided.
+            heappush(sched._heap, (start, sched._seq, self._serve, ()))
+            sched._seq += 1
 
     def _enqueue_job(self, fn: Callable[[], None]) -> None:
         if self.crashed:
             return
-        self._inbox.append(("job", fn, None))
+        self._inbox.append((None, fn))
         self._maybe_start_service()
 
     def _maybe_start_service(self) -> None:
@@ -114,36 +135,59 @@ class SimProcess:
             return
         self._serving = True
         start = max(self.scheduler.now, self.busy_until)
-        self.scheduler.call_at(start, self._serve)
+        self.scheduler.schedule(start, self._serve)
 
     def _serve(self) -> None:
         if self.crashed or not self._inbox:
             self._serving = False
             return
-        item = self._inbox.popleft()
-        self._outgoing = []
+        src, payload = self._inbox.popleft()
+        # One list reused across serves (an allocation per event adds
+        # up); it still holds the previous handler's sends, so clear it.
+        outgoing = self._outgoing
+        if outgoing:
+            outgoing.clear()
+        cost_model = self.cost_model
         self._in_handler = True
         try:
-            if item[0] == "msg":
-                _, src, msg = item
-                cost = self.cost_model.recv_cost(msg)
-                self.on_message(src, msg)
+            if src is not None:
+                # Inlined cost_model.recv_cost (no CostModel subclasses
+                # exist; costs are keyed on the message kind by contract).
+                try:
+                    cost = cost_model.recv_costs.get(
+                        payload.kind, cost_model.default_recv
+                    )
+                except AttributeError:
+                    cost = cost_model.default_recv
+                self.on_message(src, payload)
             else:
-                _, fn, _ = item
                 cost = 0.0
-                fn()
+                payload()
         finally:
             self._in_handler = False
-        outgoing, self._outgoing = self._outgoing, []
-        for _, out_msg in outgoing:
-            cost += self.cost_model.send_cost(out_msg)
-        completion = self.scheduler.now + cost
+        if outgoing:
+            send_costs = cost_model.send_costs
+            default_send = cost_model.default_send
+            for _, out_msg in outgoing:
+                try:
+                    cost += send_costs.get(out_msg.kind, default_send)
+                except AttributeError:
+                    cost += default_send
+        sched = self.scheduler
+        completion = sched.now + cost
         self.busy_until = completion
         if not self.crashed:
-            for dst, out_msg in outgoing:
-                self.network.transmit(self.pid, dst, out_msg, completion)
-        if self._inbox and not self.crashed:
-            self.scheduler.call_at(completion, self._serve)
+            if outgoing:
+                transmit = self.network.transmit
+                pid = self.pid
+                for dst, out_msg in outgoing:
+                    transmit(pid, dst, out_msg, completion)
+            if self._inbox:
+                # completion = now + cost >= now: past-check elided.
+                heappush(sched._heap, (completion, sched._seq, self._serve, ()))
+                sched._seq += 1
+            else:
+                self._serving = False
         else:
             self._serving = False
             if self._inbox:

@@ -1,0 +1,123 @@
+"""Golden determinism pins for the harness (batching off).
+
+The substrate optimisation work is only legal if it is *bit-identical*
+to the seed revision: same event schedule, same RNG consumption, same
+float arithmetic. These tests pin exact golden values captured from the
+seed code for all four protocols on one standard load point, so any
+future "optimisation" that perturbs event order or arithmetic — however
+slightly — fails loudly instead of silently shifting every figure.
+
+The goldens are exact (``==``, not ``approx``): the simulation is a
+deterministic function of the seed and floats compare reproducibly on
+one platform. If a change legitimately alters the schedule (a protocol
+fix, not an optimisation), re-capture the goldens and say so in the PR.
+"""
+
+import pytest
+
+from repro.harness.runner import run_load_point
+from repro.workload.scenarios import wan_colocated_leaders
+
+# Captured from the seed revision (d8644d8 lineage) with:
+#   run_load_point(proto, wan_colocated_leaders(), 2, 4, seed=1,
+#                  warmup_ms=200.0, measure_ms=300.0, keep_samples=True)
+# sample_checksum = repr(sum(lat for _, _, lat in result.samples))
+GOLDEN = {
+    "primcast": {
+        "throughput": 1346.6666666666667,
+        "latency": {
+            "count": 404,
+            "mean": 67.86728832238671,
+            "p50": 63.77835483410627,
+            "p95": 80.97609880275343,
+            "p99": 82.05259086465999,
+        },
+        "message_counts": {"start": 4536, "ack": 24924, "bump": 6531},
+        "events": 67744,
+        "sample_checksum": "27418.38448224423",
+    },
+    "primcast-hc": {
+        "throughput": 1336.6666666666667,
+        "latency": {
+            "count": 401,
+            "mean": 67.74681618010328,
+            "p50": 63.31866466957172,
+            "p95": 80.68988955338031,
+            "p99": 82.66437416651604,
+        },
+        "message_counts": {"start": 4518, "ack": 24840, "bump": 7227},
+        "events": 68882,
+        "sample_checksum": "27166.473288221416",
+    },
+    "whitebox": {
+        "throughput": 876.6666666666667,
+        "latency": {
+            "count": 263,
+            "mean": 99.0814507663472,
+            "p50": 120.41248056150968,
+            "p95": 143.23634947668918,
+            "p99": 145.3086733624923,
+        },
+        "message_counts": {
+            "start": 1038,
+            "wb-accept": 6144,
+            "wb-ack": 6020,
+            "wb-deliver": 1792,
+        },
+        "events": 28810,
+        "sample_checksum": "26058.421551549316",
+    },
+    "fastcast": {
+        "throughput": 926.6666666666667,
+        "latency": {
+            "count": 278,
+            "mean": 97.868714982003,
+            "p50": 67.81825210750786,
+            "p95": 145.17899175286897,
+            "p99": 146.85132735461713,
+        },
+        "message_counts": {
+            "start": 3084,
+            "fc-soft": 6144,
+            "fc-2a": 6144,
+            "fc-2b": 17394,
+            "fc-hard": 5376,
+        },
+        "events": 71957,
+        "sample_checksum": "27207.502764996832",
+    },
+}
+
+
+def _run(protocol):
+    return run_load_point(
+        protocol,
+        wan_colocated_leaders(),
+        2,
+        4,
+        seed=1,
+        warmup_ms=200.0,
+        measure_ms=300.0,
+        keep_samples=True,
+    )
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_matches_seed_golden(protocol):
+    golden = GOLDEN[protocol]
+    result = _run(protocol)
+    assert result.throughput == golden["throughput"]
+    assert result.latency == golden["latency"]
+    assert result.message_counts == golden["message_counts"]
+    assert result.events == golden["events"]
+    checksum = repr(sum(lat for _, _, lat in result.samples))
+    assert checksum == golden["sample_checksum"]
+
+
+def test_same_seed_same_process_is_identical():
+    """Two in-process runs with the same seed must agree sample-for-sample
+    (no hidden global state in the substrate or the batching layer)."""
+    a, b = _run("primcast"), _run("primcast")
+    assert a.samples == b.samples
+    assert a.message_counts == b.message_counts
+    assert a.events == b.events

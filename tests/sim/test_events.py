@@ -133,3 +133,42 @@ def test_events_processed_counter():
         sched.call_at(float(i), lambda: None)
     sched.run()
     assert sched.events_processed == 4
+
+
+def test_cancelled_events_do_not_leak():
+    """Regression: arming and cancelling many timers must not grow the
+    heap without bound (the scheduler compacts cancelled entries once
+    they dominate)."""
+    sched = Scheduler()
+    for i in range(10_000):
+        handle = sched.call_at(1000.0 + i, lambda: None)
+        handle.cancel()
+    # Far fewer than 10k entries may remain; the compaction threshold
+    # keeps the heap within a small constant factor of the live count.
+    assert len(sched._heap) < 1000
+    assert sched.pending() == 0
+    sched.run()
+    assert sched.events_processed == 0
+
+
+def test_cancelled_burst_keeps_live_timers():
+    """Compaction during a cancel burst must not disturb live events."""
+    sched = Scheduler()
+    fired = []
+    live = [sched.call_at(float(i), fired.append, i) for i in range(10)]
+    for i in range(5000):
+        sched.call_at(500.0 + i, fired.append, -1).cancel()
+    assert sched.pending() == 10
+    sched.run()
+    assert fired == list(range(10))
+    assert all(not h.cancelled for h in live)
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    handle = sched.call_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()  # double cancel must not corrupt the counter
+    assert sched.pending() == 0
+    sched.run()
+    assert sched.events_processed == 0

@@ -140,6 +140,25 @@ class TestCrashAndPartition:
         sched.run()
         assert len(procs[1].received) == 1
 
+    def test_fifo_preserved_across_block_unblock(self):
+        """Messages parked during a partition must be released in send
+        order and never overtake messages sent after the heal — the
+        per-channel FIFO contract spans the block/unblock cycle."""
+        sched, net, procs = build(JitteredLatency(5.0, 0.9))
+        for i in range(10):
+            procs[0].send(1, Msg("m", i))
+        net.block_pair(0, 1)
+        for i in range(10, 20):
+            procs[0].send(1, Msg("m", i))  # parked
+        sched.run(until=50.0)
+        assert [m.tag for _, m, _ in procs[1].received] == list(range(10))
+        net.unblock_pair(0, 1)  # releases the parked train
+        for i in range(20, 30):
+            procs[0].send(1, Msg("m", i))
+        sched.run()
+        tags = [m.tag for _, m, _ in procs[1].received]
+        assert tags == list(range(30))
+
 
 class TestCpuQueue:
     def test_recv_cost_delays_subsequent_service(self):
