@@ -1,0 +1,44 @@
+"""Determinism & protocol-contract static analysis.
+
+A custom AST lint pass enforcing the repository's reproducibility policy
+(see DESIGN.md, "Determinism policy & static analysis"):
+
+* **DET0xx** — no ambient randomness or wall-clock reads on the
+  simulated event path; no unsorted set iteration where messages are
+  emitted; no ordering by object identity; no float ``==`` on simulated
+  timestamps.
+* **PROTO1xx** — wire messages declare a class-level ``kind``; dispatch
+  tables bind existing handlers in ``__init__``; the Algorithm 1 state
+  variables are only mutated where the conformance map allows.
+
+Run it with ``python -m repro.analysis src/repro`` (``--json`` for the
+CI artifact). The pass is pure stdlib and is itself part of the tier-1
+test suite (``tests/analysis/``): every rule has known-good/known-bad
+fixtures and the shipped tree must analyse clean.
+"""
+
+from .base import RULES, ContextVisitor, Finding, ModuleInfo, Rule, register
+from .config import DEFAULT_CONFIG, AnalysisConfig
+
+# Importing the rule modules populates the registry.
+from . import det_rules as _det_rules  # noqa: F401
+from . import proto_rules as _proto_rules  # noqa: F401
+
+from .cli import main
+from .engine import analyze_module, analyze_paths, iter_python_files, load_module
+
+__all__ = [
+    "AnalysisConfig",
+    "ContextVisitor",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "ModuleInfo",
+    "RULES",
+    "Rule",
+    "analyze_module",
+    "analyze_paths",
+    "iter_python_files",
+    "load_module",
+    "main",
+    "register",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the lint pass."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

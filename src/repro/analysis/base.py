@@ -1,0 +1,164 @@
+"""Framework primitives for the repro static-analysis pass.
+
+The pass is a set of small AST rules, each checking one determinism or
+protocol-contract hazard that the runtime monitors
+(:mod:`repro.verify.invariants`) could only catch after the fact — or
+not at all, when the hazard happens to be latent on the tested schedules.
+Rules are registered in a module-level registry keyed by rule id
+(``DET0xx`` for determinism, ``PROTO1xx`` for protocol contracts) and
+run by :mod:`repro.analysis.engine` over parsed source modules.
+
+A rule yields :class:`Finding` objects; the engine filters them through
+the per-rule allowlist and severity overrides of the active
+:class:`~repro.analysis.config.AnalysisConfig`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .config import AnalysisConfig
+
+#: Recognised severities, most severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: ``module::qualname`` of the enclosing scope — the key the
+    #: allowlist matches against (see ``AnalysisConfig.is_allowed``).
+    context: str
+
+    def format(self) -> str:
+        """Human-readable one-liner (``path:line:col: RULE severity: msg``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable representation (stable key order)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """A parsed source module handed to every rule."""
+
+    path: str
+    module: str  # dotted module name, e.g. "repro.core.process"
+    tree: ast.Module
+    source: str
+
+
+class Rule:
+    """Base class for all analysis rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scope`` is a tuple of dotted module prefixes the rule applies to; a
+    config may narrow or widen it per deployment. An empty scope means
+    every analysed module.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    default_severity: str = "error"
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str, config: "AnalysisConfig") -> bool:
+        """True when ``module`` falls inside this rule's scope."""
+        scope = config.scope_override.get(self.rule_id, self.scope)
+        if not scope:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".") for prefix in scope
+        )
+
+    def check(self, mod: ModuleInfo, config: "AnalysisConfig") -> Iterator[Finding]:
+        """Yield every violation of this rule in ``mod``."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        mod: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        context: str = "",
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.default_severity,
+            path=mod.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=f"{mod.module}::{context}" if context else mod.module,
+        )
+
+
+#: Global rule registry, keyed by rule id. Populated by :func:`register`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule."""
+    rule = cls()
+    if not rule.rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if rule.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    if rule.default_severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.rule_id}: bad severity {rule.default_severity}")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+class ContextVisitor(ast.NodeVisitor):
+    """Node visitor tracking the enclosing class/function qualname.
+
+    Rules subclass this to report the scope a violation occurred in; the
+    allowlist matches against ``module::qualname`` strings built from
+    :attr:`context`.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+
+    @property
+    def context(self) -> str:
+        return ".".join(self._stack)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()

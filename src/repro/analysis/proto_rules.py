@@ -1,0 +1,248 @@
+"""Protocol-contract rules (PROTO1xx).
+
+Structural contracts the paper's correctness argument (Algorithms 1–3,
+§4–5) relies on, checked statically instead of (only) at runtime:
+
+* **PROTO101** — every wire-message class declares a class-level
+  ``kind`` string. The CPU cost model, the network's per-kind counters
+  and the batching layer all key on ``kind``; an instance-level or
+  missing ``kind`` silently drops a message class out of the §7
+  accounting.
+* **PROTO102** — every handler registered in an r-deliver dispatch
+  table exists as a method of the registering class, and the table is
+  bound in ``__init__``. A typo in the table raises only when the first
+  message of that kind arrives — on a failover path, that can be never
+  in tests and always in production.
+* **PROTO103** — the Algorithm 1 protocol variables ``clock`` /
+  ``e_cur`` / ``e_prom`` are mutated only in the modules the
+  conformance map allows (see
+  :data:`repro.analysis.config.STATE_CONFORMANCE`), mirroring the
+  pseudocode's assignment of every mutation to a numbered line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Union
+
+from .base import ContextVisitor, Finding, ModuleInfo, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .config import AnalysisConfig
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _class_level_assign_names(cls: ast.ClassDef) -> Set[str]:
+    """Names assigned at class level (``kind = ...``, ``__slots__ = ...``)."""
+    names: Set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                names.add(stmt.target.id)
+    return names
+
+
+def _class_kind_value(cls: ast.ClassDef) -> Optional[ast.expr]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "kind":
+                    return stmt.value
+    return None
+
+
+@register
+class WireMessagesDeclareKind(Rule):
+    rule_id = "PROTO101"
+    title = "wire-message classes declare a class-level string kind"
+
+    def applies_to(self, module: str, config: "AnalysisConfig") -> bool:
+        scope = config.scope_override.get(self.rule_id, config.wire_message_modules)
+        return module in scope
+
+    def check(self, mod: ModuleInfo, config: "AnalysisConfig") -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            if stmt.name.startswith("_"):
+                continue  # private helpers are not wire messages
+            names = _class_level_assign_names(stmt)
+            if "__slots__" not in names:
+                continue  # wire messages in this repo are all slotted
+            kind_value = _class_kind_value(stmt)
+            if kind_value is None:
+                findings.append(
+                    self.finding(
+                        mod,
+                        stmt,
+                        f"wire-message class {stmt.name} has no class-level "
+                        f"'kind' — the cost model, message counters and "
+                        f"batching layer all key on it",
+                        stmt.name,
+                    )
+                )
+            elif not (
+                isinstance(kind_value, ast.Constant)
+                and isinstance(kind_value.value, str)
+            ):
+                findings.append(
+                    self.finding(
+                        mod,
+                        stmt,
+                        f"wire-message class {stmt.name} must bind 'kind' to a "
+                        f"string literal (got a computed value)",
+                        stmt.name,
+                    )
+                )
+        return iter(findings)
+
+
+# ----------------------------------------------------------------------
+# PROTO102 — dispatch tables reference existing methods, bound in __init__
+# ----------------------------------------------------------------------
+
+
+def _methods_of(cls: ast.ClassDef) -> Set[str]:
+    return {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class DispatchHandlersExist(Rule):
+    rule_id = "PROTO102"
+    title = "r-deliver dispatch tables bind existing methods in __init__"
+
+    def applies_to(self, module: str, config: "AnalysisConfig") -> bool:
+        scope = config.scope_override.get(self.rule_id, config.det_scope)
+        return any(
+            module == prefix or module.startswith(prefix + ".") for prefix in scope
+        )
+
+    def check(self, mod: ModuleInfo, config: "AnalysisConfig") -> Iterator[Finding]:
+        findings: List[Finding] = []
+        dispatch_attrs = set(config.dispatch_attrs)
+        for stmt in mod.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                findings.extend(self._check_class(mod, stmt, dispatch_attrs))
+        return iter(findings)
+
+    def _check_class(
+        self, mod: ModuleInfo, cls: ast.ClassDef, dispatch_attrs: Set[str]
+    ) -> Iterator[Finding]:
+        methods = _methods_of(cls)
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in dispatch_attrs
+                    ):
+                        continue
+                    context = f"{cls.name}.{method.name}"
+                    if method.name != "__init__":
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"dispatch table self.{target.attr} must be bound "
+                            f"in __init__ (bound in {method.name}) so every "
+                            f"instance dispatches from construction",
+                            context,
+                        )
+                    if isinstance(node.value, ast.Dict):
+                        for value in node.value.values:
+                            if (
+                                isinstance(value, ast.Attribute)
+                                and isinstance(value.value, ast.Name)
+                                and value.value.id == "self"
+                                and value.attr not in methods
+                            ):
+                                yield self.finding(
+                                    mod,
+                                    value,
+                                    f"dispatch table self.{target.attr} "
+                                    f"registers self.{value.attr}, but "
+                                    f"{cls.name} defines no such method",
+                                    context,
+                                )
+
+
+# ----------------------------------------------------------------------
+# PROTO103 — protocol-state mutations follow the conformance map
+# ----------------------------------------------------------------------
+
+
+class _Proto103Visitor(ContextVisitor):
+    def __init__(self, rule: Rule, mod: ModuleInfo, config: "AnalysisConfig") -> None:
+        super().__init__()
+        self.rule = rule
+        self.mod = mod
+        self.config = config
+        self.findings: List[Finding] = []
+
+    def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        allowed = self.config.state_conformance.get(target.attr)
+        if allowed is None or self.mod.module in allowed:
+            return
+        self.findings.append(
+            self.rule.finding(
+                self.mod,
+                node,
+                f"mutation of protocol state self.{target.attr} outside the "
+                f"conformance map (allowed: {', '.join(sorted(allowed))}) — "
+                f"Algorithms 1–3 assign every such mutation to a numbered "
+                f"line of repro.core.process",
+                self.context,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+        self.generic_visit(node)
+
+
+@register
+class ProtocolStateConformance(Rule):
+    rule_id = "PROTO103"
+    title = "clock/e_cur/e_prom mutations stay inside the conformance map"
+
+    def applies_to(self, module: str, config: "AnalysisConfig") -> bool:
+        scope = config.scope_override.get(self.rule_id, config.det_scope)
+        return any(
+            module == prefix or module.startswith(prefix + ".") for prefix in scope
+        )
+
+    def check(self, mod: ModuleInfo, config: "AnalysisConfig") -> Iterator[Finding]:
+        visitor = _Proto103Visitor(self, mod, config)
+        visitor.visit(mod.tree)
+        return iter(visitor.findings)

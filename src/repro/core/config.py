@@ -9,7 +9,7 @@ explicitly and are validated for pairwise intersection.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 
 class GroupConfig:
@@ -25,7 +25,7 @@ class GroupConfig:
         self,
         groups: Sequence[Sequence[int]],
         quorum_sets: Optional[Dict[int, List[FrozenSet[int]]]] = None,
-    ):
+    ) -> None:
         if not groups:
             raise ValueError("need at least one group")
         self.groups: List[List[int]] = [list(g) for g in groups]
@@ -116,22 +116,23 @@ class GroupConfig:
 
     def has_quorum(self, gid: int, pids: Iterable[int]) -> bool:
         """True when ``pids`` contains a quorum of group ``gid``."""
-        if not isinstance(pids, (set, frozenset)):
-            pids = set(pids)
+        pid_set: AbstractSet[int] = (
+            pids if isinstance(pids, (set, frozenset)) else set(pids)
+        )
         quorums = self.quorum_sets.get(gid)
         if quorums is None:
             need = self._majority_sizes[gid]
-            if len(pids) < need:
+            if len(pid_set) < need:
                 return False
             members = self._member_sets[gid]
             count = 0
-            for pid in pids:
+            for pid in pid_set:
                 if pid in members:
                     count += 1
                     if count >= need:
                         return True
             return False
-        return any(q <= pids for q in quorums)
+        return any(q <= pid_set for q in quorums)
 
     def quorum_clock_value(self, gid: int, min_clocks: Dict[int, int]) -> int:
         """quorum-clock() (Algorithm 1, line 17): the largest ``ts`` such

@@ -9,7 +9,7 @@ credits for PrimCast's throughput.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Tuple
 
 from .epoch import Epoch
 
@@ -29,7 +29,7 @@ class Multicast:
 
     __slots__ = ("mid", "dest", "payload")
 
-    def __init__(self, mid: MessageId, dest: FrozenSet[int], payload: Any = None):
+    def __init__(self, mid: MessageId, dest: FrozenSet[int], payload: Any = None) -> None:
         if not dest:
             raise ValueError("a multicast needs at least one destination group")
         self.mid = mid
@@ -51,7 +51,7 @@ class Start:
     __slots__ = ("multicast",)
     kind = "start"
 
-    def __init__(self, multicast: Multicast):
+    def __init__(self, multicast: Multicast) -> None:
         self.multicast = multicast
 
     @property
@@ -70,7 +70,9 @@ class Ack:
     __slots__ = ("multicast", "group", "epoch", "ts", "sender")
     kind = "ack"
 
-    def __init__(self, multicast: Multicast, group: int, epoch: Epoch, ts: int, sender: int):
+    def __init__(
+        self, multicast: Multicast, group: int, epoch: Epoch, ts: int, sender: int
+    ) -> None:
         self.multicast = multicast
         self.group = group
         self.epoch = epoch
@@ -97,7 +99,7 @@ class Bump:
     __slots__ = ("epoch", "ts", "sender")
     kind = "bump"
 
-    def __init__(self, epoch: Epoch, ts: int, sender: int):
+    def __init__(self, epoch: Epoch, ts: int, sender: int) -> None:
         self.epoch = epoch
         self.ts = ts
         self.sender = sender
@@ -109,7 +111,7 @@ class NewEpoch:
     __slots__ = ("epoch",)
     kind = "new-epoch"
 
-    def __init__(self, epoch: Epoch):
+    def __init__(self, epoch: Epoch) -> None:
         self.epoch = epoch
 
 
@@ -127,7 +129,7 @@ class EpochPromise:
         clock: int,
         e_cur: Epoch,
         t_seq: List[Tuple[Epoch, Multicast, int]],
-    ):
+    ) -> None:
         self.epoch = epoch
         self.sender = sender
         self.clock = clock
@@ -142,7 +144,9 @@ class NewState:
     __slots__ = ("epoch", "t_seq", "ts")
     kind = "new-state"
 
-    def __init__(self, epoch: Epoch, t_seq: List[Tuple[Epoch, Multicast, int]], ts: int):
+    def __init__(
+        self, epoch: Epoch, t_seq: List[Tuple[Epoch, Multicast, int]], ts: int
+    ) -> None:
         self.epoch = epoch
         self.t_seq = t_seq
         self.ts = ts
@@ -155,7 +159,7 @@ class AcceptEpoch:
     __slots__ = ("epoch", "sender")
     kind = "accept-epoch"
 
-    def __init__(self, epoch: Epoch, sender: int):
+    def __init__(self, epoch: Epoch, sender: int) -> None:
         self.epoch = epoch
         self.sender = sender
 

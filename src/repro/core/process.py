@@ -15,7 +15,17 @@ rule (``clock = max(clock + 1, real-clock())``), enabled with
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
 
 from ..election.omega import OmegaOracle
 from ..rmcast.fifo import Envelope, RMcastProcess
@@ -78,7 +88,7 @@ class PrimCastProcess(RMcastProcess):
         relay: bool = False,
         enable_bumps: bool = True,
         batching_ms: float = 0.0,
-    ):
+    ) -> None:
         super().__init__(
             pid, scheduler, network, cost_model, relay=relay, batching_ms=batching_ms
         )
@@ -144,7 +154,7 @@ class PrimCastProcess(RMcastProcess):
         # update the table entry as well; wrapping ``on_r_deliver``
         # itself needs no such step — the message fast path defers to it
         # whenever it is overridden on the instance.
-        self._r_dispatch: Dict[type, Callable[[int, Any], None]] = {
+        self._r_dispatch: Dict[Type[Any], Callable[[int, Any], None]] = {
             Ack: self._on_ack,
             Start: self._on_start,
             Bump: self._on_bump,
@@ -178,7 +188,7 @@ class PrimCastProcess(RMcastProcess):
 
     def a_multicast_m(self, multicast: Multicast) -> None:
         """a-multicast a pre-built :class:`Multicast` (line 31)."""
-        for gid in multicast.dest:
+        for gid in sorted(multicast.dest):
             if not 0 <= gid < self.config.n_groups:
                 raise ValueError(f"unknown destination group {gid}")
         self.r_multicast(Start(multicast), self.config.dest_pids(multicast.dest))
@@ -274,6 +284,7 @@ class PrimCastProcess(RMcastProcess):
     def _propose(self, multicast: Multicast) -> None:
         """Lines 36-39 (with the §6 hybrid-clock rule when enabled)."""
         if self.hybrid_clock:
+            assert self.physical_clock is not None  # enforced in __init__
             self.clock = max(self.clock + 1, self.physical_clock.read_us())
         else:
             self.clock += 1
@@ -422,7 +433,7 @@ class PrimCastProcess(RMcastProcess):
             self._qclock_cache = cached
         return cached
 
-    def min_ts(self, mid: MessageId) -> Tuple[int, ...]:
+    def min_ts(self, mid: MessageId) -> int:
         """Line 19: lower bound for final-ts(mid). Public wrapper used by
         tests; delivery uses the inlined version."""
         leader_clock = self.clocks.min_clock(self.e_cur.leader)
@@ -614,15 +625,15 @@ class PrimCastProcess(RMcastProcess):
             self.started.setdefault(multicast.mid, multicast)
         # Rebuild the delivery heaps from the new T (the T timestamps,
         # which seed the min-heap keys, may have changed).
-        self._min_heap = [(self.t_by_mid[mid][1], mid) for mid in self.pending]
+        self._min_heap = [(self.t_by_mid[mid][1], mid) for mid in sorted(self.pending)]
         heapq.heapify(self._min_heap)
         self._finals_heap = [
             (self._final_cache[mid], mid)
-            for mid in self.pending
+            for mid in sorted(self.pending)
             if mid in self._final_cache
         ]
         heapq.heapify(self._finals_heap)
-        for mid in self.pending:
+        for mid in sorted(self.pending):
             if mid not in self._final_cache:
                 self.final_ts(mid)
         self.e_cur = msg.epoch

@@ -37,7 +37,7 @@ StartTuple = Tuple[str, MessageId]  # start, m
 class SpecRecorder:
     """Records every r-delivered tuple of one process into a literal M."""
 
-    def __init__(self, proc: PrimCastProcess):
+    def __init__(self, proc: PrimCastProcess) -> None:
         self.proc = proc
         self.acks: List[AckTuple] = []
         self.bumps: List[BumpTuple] = []
@@ -99,7 +99,7 @@ class SpecRecorder:
         multicast = self.multicasts.get(mid)
         if multicast is None:
             return None
-        values = []
+        values: List[int] = []
         for gid in multicast.dest:
             ts = self.local_ts(config, mid, gid)
             if ts is None:

@@ -96,7 +96,7 @@ class ClockTracker:
 
     __slots__ = ("values", "deferred")
 
-    def __init__(self, members: List[int]):
+    def __init__(self, members: List[int]) -> None:
         self.values: Dict[int, int] = {pid: 0 for pid in members}
         # tuples (epoch, ts, sender) with epoch > E_cur at receipt time
         self.deferred: List[Tuple[Epoch, int, int]] = []

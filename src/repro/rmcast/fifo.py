@@ -69,7 +69,7 @@ class Envelope:
             self.kind = "rm"
 
     @property
-    def mid(self):
+    def mid(self) -> Any:
         """Multicast id of the payload if it has one (for tracing)."""
         return getattr(self.payload, "mid", None)
 

@@ -25,7 +25,7 @@ from .properties import PropertyViolation
 class GenuinenessTracer:
     """Network trace hook recording endpoints per multicast id."""
 
-    def __init__(self, config: GroupConfig):
+    def __init__(self, config: GroupConfig) -> None:
         self.config = config
         # mid -> set of (src, dst)
         self.endpoints: Dict[MessageId, Set[Tuple[int, int]]] = {}

@@ -26,29 +26,51 @@ Checked invariants:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
+from ..core.epoch import Epoch
+from ..core.messages import Multicast
 from ..core.process import CANDIDATE, PRIMARY, PrimCastProcess
 from .properties import PropertyViolation
 
 
 class InvariantMonitor:
-    """Wraps one process and re-checks invariants after every event."""
+    """Wraps one process and re-checks invariants after every event.
 
-    def __init__(self, proc: PrimCastProcess):
+    Wrapping is *idempotent per process*: the first monitor installs one
+    ``on_r_deliver`` wrapper and later monitors attach to it instead of
+    stacking another layer, so instrumentation that composes wrappers in
+    arbitrary order (e.g. a :class:`~repro.core.spec.SpecRecorder` before
+    or after the monitor) never double-runs the checks and never re-wraps
+    an already-monitored handler.
+    """
+
+    def __init__(self, proc: PrimCastProcess) -> None:
         self.proc = proc
         self.checks_run = 0
         self._last_clock = proc.clock
         self._last_e_cur = proc.e_cur
         self._last_e_prom = proc.e_prom
-        original = proc.on_r_deliver
+        existing: Optional[List["InvariantMonitor"]] = getattr(
+            proc, "_invariant_monitors", None
+        )
+        if existing is not None:
+            # Already wrapped by a monitor (possibly below other
+            # instrumentation layers such as a SpecRecorder): join the
+            # installed wrapper instead of stacking another one.
+            existing.append(self)
+        else:
+            monitors: List["InvariantMonitor"] = [self]
+            proc._invariant_monitors = monitors  # type: ignore[attr-defined]
+            original = proc.on_r_deliver
 
-        def wrapped(origin: int, payload: object) -> None:
-            original(origin, payload)
-            if not proc.crashed:
-                self.check()
+            def wrapped(origin: int, payload: object) -> None:
+                original(origin, payload)
+                if not proc.crashed:
+                    for monitor in monitors:
+                        monitor.check()
 
-        proc.on_r_deliver = wrapped  # type: ignore[method-assign]
+            proc.on_r_deliver = wrapped  # type: ignore[method-assign]
         proc.add_deliver_hook(self._on_deliver)
 
     def _fail(self, message: str) -> None:
@@ -57,7 +79,9 @@ class InvariantMonitor:
             f"(t={self.proc.scheduler.now:.3f}): {message}"
         )
 
-    def _on_deliver(self, proc: PrimCastProcess, multicast, final_ts: int) -> None:
+    def _on_deliver(
+        self, proc: PrimCastProcess, multicast: Multicast, final_ts: int
+    ) -> None:
         if final_ts > proc.clock:
             self._fail(
                 f"delivered {multicast.mid} with final ts {final_ts} "
@@ -101,7 +125,7 @@ class InvariantMonitor:
                 self._fail(f"pending {mid} already delivered")
 
         # Proposals strictly increase per epoch in T.
-        last_by_epoch = {}
+        last_by_epoch: Dict[Epoch, int] = {}
         for epoch, multicast, ts in proc.t_list:
             prev = last_by_epoch.get(epoch)
             if prev is not None and ts <= prev:
@@ -123,10 +147,15 @@ class InvariantMonitor:
             self._fail("quorum-clock above every member observation")
 
 
-def attach_monitors(processes) -> List[InvariantMonitor]:
+def attach_monitors(
+    processes: Union[Mapping[int, object], Iterable[object]]
+) -> List[InvariantMonitor]:
     """Attach a monitor to every PrimCast process in a collection."""
-    monitors = []
-    for proc in (processes.values() if hasattr(processes, "values") else processes):
+    monitors: List[InvariantMonitor] = []
+    procs: Iterable[object] = (
+        processes.values() if isinstance(processes, Mapping) else processes
+    )
+    for proc in procs:
         if isinstance(proc, PrimCastProcess):
             monitors.append(InvariantMonitor(proc))
     return monitors

@@ -24,7 +24,7 @@ Each checker raises :class:`PropertyViolation` with a counterexample.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.messages import MessageId
 
@@ -94,7 +94,9 @@ def check_acyclic_order(logs: Dict[int, DeliveryLog]) -> None:
     for root in nodes:
         if color[root] != WHITE:
             continue
-        stack: List[Tuple[MessageId, Optional[Iterable]] ] = [(root, None)]
+        stack: List[Tuple[MessageId, Optional[Iterator[MessageId]]]] = [
+            (root, None)
+        ]
         while stack:
             node, it = stack[-1]
             if it is None:

@@ -1,0 +1,360 @@
+"""Per-rule fixtures: one known-good and one known-bad snippet per rule.
+
+Every rule must *fire* on its bad fixture (proving the pass can catch
+the hazard) and stay silent on the good fixture (proving it will not
+drown real findings in noise). Snippets are analysed under fake module
+names inside the determinism scope.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis import DEFAULT_CONFIG, RULES, AnalysisConfig, ModuleInfo
+from repro.analysis.engine import analyze_module
+
+
+def run_rule(rule_id, source, module="repro.core.fixture", config=DEFAULT_CONFIG):
+    src = textwrap.dedent(source)
+    mod = ModuleInfo(
+        path=f"<{module}>", module=module, tree=ast.parse(src), source=src
+    )
+    return analyze_module(mod, config, [RULES[rule_id]])
+
+
+def rules_fired(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# DET001 — ambient nondeterminism
+# ----------------------------------------------------------------------
+
+DET001_BAD = """
+    import random
+    import time
+    import uuid
+
+    def jitter():
+        return random.random() + time.time()
+
+    def stamp():
+        return uuid.uuid4()
+"""
+
+DET001_GOOD = """
+    import random
+
+    from repro.sim.rng import child_rng
+
+    def jitter(rng: random.Random) -> float:
+        return rng.uniform(0.0, 1.0)
+
+    def make(seed: int) -> random.Random:
+        return random.Random(seed)
+"""
+
+
+def test_det001_fires_on_ambient_randomness_and_wall_clock():
+    findings = run_rule("DET001", DET001_BAD)
+    assert rules_fired(findings) == ["DET001"]
+    messages = " ".join(f.message for f in findings)
+    assert "random.random()" in messages
+    assert "time.time()" in messages
+    assert "uuid" in messages
+
+
+def test_det001_allows_seeded_child_rngs():
+    assert run_rule("DET001", DET001_GOOD) == []
+
+
+def test_det001_out_of_scope_module_is_ignored():
+    # The perf harness measures wall time by design; it is outside the
+    # determinism scope.
+    assert run_rule("DET001", DET001_BAD, module="repro.harness.perf") == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — unsorted set iteration on emission paths
+# ----------------------------------------------------------------------
+
+DET002_BAD = """
+    class Proc:
+        def __init__(self):
+            self.peers = set()
+
+        def broadcast(self, msg, table):
+            for pid in self.peers:           # set iteration, emits
+                self.send(pid, msg)
+            for key in table.keys():         # dict.keys() view, emits
+                self.send(key, msg)
+"""
+
+DET002_GOOD = """
+    class Proc:
+        def __init__(self):
+            self.peers = set()
+            self.log = []
+
+        def broadcast(self, msg):
+            for pid in sorted(self.peers):   # explicit ordering fence
+                self.send(pid, msg)
+
+        def audit(self):
+            total = 0
+            for pid in self.peers:           # no emission in this scope
+                total += pid
+            self.log.append(total)
+"""
+
+
+def test_det002_fires_on_unsorted_set_iteration_where_emitting():
+    findings = run_rule("DET002", DET002_BAD)
+    assert len(findings) == 2
+    assert rules_fired(findings) == ["DET002"]
+
+
+def test_det002_allows_sorted_and_non_emission_scopes():
+    assert run_rule("DET002", DET002_GOOD) == []
+
+
+def test_det002_known_set_attrs_cover_cross_module_frozensets():
+    # ``dest`` is set-typed by config even with no local inference.
+    source = """
+        def fan_out(self, multicast):
+            for gid in multicast.dest:
+                self.r_multicast(multicast, gid)
+    """
+    findings = run_rule("DET002", source)
+    assert len(findings) == 1
+    assert ".dest" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# DET003 — ordering by id()/hash()
+# ----------------------------------------------------------------------
+
+DET003_BAD = """
+    def order(pending):
+        return sorted(pending, key=id)
+
+    def pick(pending):
+        return min(pending, key=lambda m: hash(m))
+"""
+
+DET003_GOOD = """
+    def order(pending):
+        return sorted(pending, key=lambda m: m.mid)
+"""
+
+
+def test_det003_fires_on_identity_ordering():
+    findings = run_rule("DET003", DET003_BAD)
+    assert len(findings) == 2
+    assert rules_fired(findings) == ["DET003"]
+
+
+def test_det003_allows_stable_protocol_keys():
+    assert run_rule("DET003", DET003_GOOD) == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — float == on simulated timestamps
+# ----------------------------------------------------------------------
+
+DET004_BAD = """
+    def expired(self, deadline):
+        return self.scheduler.now == deadline
+
+    def same_arrival(arrival, other):
+        return arrival != other
+"""
+
+DET004_GOOD = """
+    def expired(self, deadline):
+        return self.scheduler.now >= deadline
+"""
+
+
+def test_det004_fires_on_float_timestamp_equality():
+    findings = run_rule("DET004", DET004_BAD)
+    assert len(findings) == 2
+    assert rules_fired(findings) == ["DET004"]
+
+
+def test_det004_allows_ordered_comparisons():
+    assert run_rule("DET004", DET004_GOOD) == []
+
+
+# ----------------------------------------------------------------------
+# PROTO101 — class-level kind on wire messages
+# ----------------------------------------------------------------------
+
+PROTO101_BAD = """
+    class Probe:
+        __slots__ = ("ts",)
+
+        def __init__(self, ts):
+            self.ts = ts
+
+    class Computed:
+        __slots__ = ()
+        kind = "pr" + "obe"
+"""
+
+PROTO101_GOOD = """
+    class Probe:
+        __slots__ = ("ts",)
+        kind = "probe"
+
+        def __init__(self, ts):
+            self.ts = ts
+
+    class _Internal:
+        __slots__ = ("x",)
+
+    class NotSlotted:
+        pass
+"""
+
+
+def test_proto101_fires_on_missing_or_computed_kind():
+    findings = run_rule("PROTO101", PROTO101_BAD, module="repro.core.messages")
+    assert len(findings) == 2
+    assert rules_fired(findings) == ["PROTO101"]
+
+
+def test_proto101_allows_declared_kind_and_skips_private():
+    assert run_rule("PROTO101", PROTO101_GOOD, module="repro.core.messages") == []
+
+
+def test_proto101_default_allowlist_exempts_multicast():
+    source = """
+        class Multicast:
+            __slots__ = ("mid", "dest", "payload")
+    """
+    assert run_rule("PROTO101", source, module="repro.core.messages") == []
+    # Without the allowlist the same snippet is a violation.
+    bare = AnalysisConfig(allow={})
+    assert len(run_rule("PROTO101", source, "repro.core.messages", bare)) == 1
+
+
+# ----------------------------------------------------------------------
+# PROTO102 — dispatch tables bind existing methods in __init__
+# ----------------------------------------------------------------------
+
+PROTO102_BAD = """
+    class Proc:
+        def __init__(self):
+            self._r_dispatch = {
+                Ack: self._on_ack,
+                Start: self._on_strat,   # typo: no such method
+            }
+
+        def _on_ack(self, origin, ack):
+            pass
+
+        def rebind(self):
+            self._r_dispatch = {Ack: self._on_ack}   # not __init__
+"""
+
+PROTO102_GOOD = """
+    class Proc:
+        def __init__(self):
+            self._r_dispatch = {
+                Ack: self._on_ack,
+                Start: self._on_start,
+            }
+
+        def _on_ack(self, origin, ack):
+            pass
+
+        def _on_start(self, origin, start):
+            pass
+"""
+
+
+def test_proto102_fires_on_missing_handler_and_late_binding():
+    findings = run_rule("PROTO102", PROTO102_BAD)
+    assert rules_fired(findings) == ["PROTO102"]
+    messages = " ".join(f.message for f in findings)
+    assert "_on_strat" in messages
+    assert "__init__" in messages
+    assert len(findings) == 2
+
+
+def test_proto102_allows_complete_tables():
+    assert run_rule("PROTO102", PROTO102_GOOD) == []
+
+
+# ----------------------------------------------------------------------
+# PROTO103 — protocol-state conformance map
+# ----------------------------------------------------------------------
+
+PROTO103_BAD = """
+    class Meddler:
+        def poke(self, ts):
+            self.clock = ts
+            self.e_cur = self.e_prom
+
+        def bump(self):
+            self.clock += 1
+"""
+
+PROTO103_GOOD = """
+    class Proc:
+        def __init__(self):
+            self.clock = 0
+            self.e_cur = None
+            self.e_prom = None
+"""
+
+
+def test_proto103_fires_outside_conformance_map():
+    findings = run_rule("PROTO103", PROTO103_BAD, module="repro.core.fixture")
+    assert len(findings) == 3
+    assert rules_fired(findings) == ["PROTO103"]
+
+
+def test_proto103_allows_mutations_in_conformant_module():
+    # repro.core.process is the module Algorithms 1–3 map onto.
+    assert run_rule("PROTO103", PROTO103_GOOD, module="repro.core.process") == []
+
+
+def test_proto103_allowlist_covers_message_field_capture():
+    source = """
+        class EpochPromise:
+            def __init__(self, clock, e_cur):
+                self.clock = clock
+                self.e_cur = e_cur
+    """
+    assert run_rule("PROTO103", source, module="repro.core.messages") == []
+    bare = AnalysisConfig(allow={})
+    assert len(run_rule("PROTO103", source, "repro.core.messages", bare)) == 2
+
+
+# ----------------------------------------------------------------------
+# registry sanity
+# ----------------------------------------------------------------------
+
+
+def test_every_registered_rule_has_a_firing_fixture():
+    """Names in this test module must cover the whole registry, so a new
+    rule cannot land without a known-bad fixture."""
+    covered = {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "PROTO101",
+        "PROTO102",
+        "PROTO103",
+    }
+    assert set(RULES) == covered
+
+
+def test_severity_override_is_applied():
+    config = AnalysisConfig(severity_overrides={"DET003": "warning"})
+    findings = run_rule("DET003", DET003_BAD, config=config)
+    assert findings and all(f.severity == "warning" for f in findings)

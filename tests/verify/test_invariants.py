@@ -87,3 +87,69 @@ def test_bad_delivery_final_detected():
     with pytest.raises(PropertyViolation, match="above own clock"):
         proc._deliver_probe = None
         monitor._on_deliver(proc, Multicast((9, 9), frozenset({0})), proc.clock + 10)
+
+
+# ----------------------------------------------------------------------
+# wrapper composition (monitor + spec recorder, idempotent re-wrap)
+# ----------------------------------------------------------------------
+
+
+def _drive(sys_):
+    sys_.multicast(0, {0, 1})
+    sys_.multicast(3, {0, 1})
+    sys_.run_to_quiescence()
+
+
+def test_monitor_wrap_is_idempotent():
+    """A second monitor on the same process joins the installed wrapper
+    instead of stacking another layer."""
+    sys_ = MiniSystem(n_groups=2)
+    proc = sys_.processes[0]
+    m1 = InvariantMonitor(proc)
+    wrapper_after_first = proc.on_r_deliver
+    m2 = InvariantMonitor(proc)
+    assert proc.on_r_deliver is wrapper_after_first  # no second layer
+    assert proc._invariant_monitors == [m1, m2]
+    _drive(sys_)
+    assert m1.checks_run > 0
+    assert m2.checks_run > 0
+
+
+def test_monitor_then_spec_recorder_composes():
+    from repro.core.spec import attach_spec_recorder
+
+    sys_ = MiniSystem(n_groups=2)
+    proc = sys_.processes[0]
+    monitor = InvariantMonitor(proc)
+    recorder = attach_spec_recorder(proc)
+    _drive(sys_)
+    assert monitor.checks_run > 0
+    assert recorder.acks  # the recorder saw protocol traffic
+
+
+def test_spec_recorder_then_monitor_composes():
+    from repro.core.spec import attach_spec_recorder
+
+    sys_ = MiniSystem(n_groups=2)
+    proc = sys_.processes[0]
+    recorder = attach_spec_recorder(proc)
+    monitor = InvariantMonitor(proc)
+    _drive(sys_)
+    assert monitor.checks_run > 0
+    assert recorder.acks
+
+
+def test_second_monitor_after_recorder_still_joins_existing_wrapper():
+    """Recorder stacked on top of a monitor must not hide the monitor
+    from the idempotency guard."""
+    from repro.core.spec import attach_spec_recorder
+
+    sys_ = MiniSystem(n_groups=2)
+    proc = sys_.processes[0]
+    m1 = InvariantMonitor(proc)
+    attach_spec_recorder(proc)
+    m2 = InvariantMonitor(proc)
+    assert proc._invariant_monitors == [m1, m2]
+    _drive(sys_)
+    # Each event runs each monitor's check exactly once.
+    assert m1.checks_run == m2.checks_run > 0
