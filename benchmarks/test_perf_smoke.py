@@ -1,23 +1,30 @@
-"""Perf smoke bench: substrate wall-clock and §7.1 batching delta.
+"""Perf smoke bench: substrate wall-clock, §7.1 batching delta, and the
+parallel sweep executor + result cache scaling pass.
 
 Unlike the figure/table benches this one times the *simulator itself*:
 it pins the >= 2x wall-clock speedup of the substrate overhaul against
 the seed-revision baseline on a standard Fig-3 load point (batching off,
 so the run is bit-identical to the seed protocol behaviour), measures
-the wire-message reduction of the opt-in ack/bump batching layer, and
-records both in ``BENCH_perf.json`` at the repository root.
+the wire-message reduction of the opt-in ack/bump batching layer, times
+the Fig-3 reduced sweep serial vs ``--jobs N`` vs warm-cache, and
+records everything in ``BENCH_perf.json`` at the repository root.
 
 Runs with plain pytest — no pytest-benchmark fixture needed::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q
+
+``REPRO_JOBS`` sets the worker count of the sweep-scaling pass (default:
+the machine's CPU count; CI pins 2).
 """
 
+import os
 from dataclasses import asdict
 
 from repro.harness.perf import (
     SEED_BASELINE,
     batching_delta,
     measure_load_point,
+    measure_sweep_scaling,
     speedup_vs_seed,
     update_bench,
 )
@@ -70,3 +77,33 @@ def test_batching_reduces_wire_messages():
     assert delta["wire_reduction"] > 0.2
     assert on["message_counts"].get("batch", 0) > 0
     assert on["throughput"] > 0.8 * off["throughput"]
+
+
+def test_parallel_sweep_and_result_cache_scaling():
+    """Fig-3 reduced sweep (d=2, 16 points): serial vs parallel vs warm
+    cache, recorded as the ``parallel_sweep`` section of BENCH_perf.json.
+
+    Correctness gates are hard (bit-identical rows at any job count;
+    warm pass serves every point from cache, i.e. zero simulation);
+    wall-clock gates are soft because shared runners are noisy and the
+    parallel speedup is bounded by the machine's core count — the
+    recorded artifact is the signal.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "0"))
+    scaling = measure_sweep_scaling(jobs=jobs)
+    update_bench("parallel_sweep", scaling)
+    print(
+        f"\n{scaling['point']}: serial {scaling['serial_s']:.1f}s, "
+        f"jobs={scaling['jobs']} {scaling['parallel_s']:.1f}s "
+        f"({scaling['parallel_speedup']:.2f}x), warm cache "
+        f"{scaling['warm_cache_s']:.2f}s ({scaling['cache_speedup']:.0f}x, "
+        f"{scaling['warm_hits']}/{scaling['points']} hits)"
+    )
+    # The executor contract: fan-out and memoization change wall-clock
+    # only — every row stays field-for-field identical to serial.
+    assert scaling["identical"]
+    assert scaling["warm_identical"]
+    # Warm cache == zero simulation executed.
+    assert scaling["warm_ran"] == 0
+    assert scaling["warm_hits"] == scaling["points"]
+    assert scaling["warm_cache_s"] < scaling["serial_s"]

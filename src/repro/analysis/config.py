@@ -25,6 +25,11 @@ from fnmatch import fnmatchcase
 from typing import Mapping, Tuple
 
 #: Modules that run on the simulated event path (determinism scope).
+#: ``repro.harness.parallel`` / ``repro.harness.cache`` are not on the
+#: event path themselves but feed seeds and memoized results into it, so
+#: they are held to the same bar: worker seeds must arrive explicitly in
+#: the PointSpec (derived via repro.sim.rng in the runner), never from
+#: ambient randomness or the wall clock.
 DET_SCOPE: Tuple[str, ...] = (
     "repro.sim",
     "repro.core",
@@ -32,6 +37,8 @@ DET_SCOPE: Tuple[str, ...] = (
     "repro.rmcast",
     "repro.election",
     "repro.consensus",
+    "repro.harness.parallel",
+    "repro.harness.cache",
 )
 
 #: Calls that emit messages or schedule events. A function whose body

@@ -9,10 +9,12 @@ from .analytic import (
     message_complexity,
     table1_rows,
 )
+from .cache import ResultCache, code_fingerprint, spec_key
 from .diagnostics import ConvoyProbe, attach_probes, merged_summary
 from .experiments import FIGURE_PROTOCOLS, figure2, figure3, figure4, figure5, sweep
 from .export import result_row, write_cdf_csv, write_csv, write_json
 from .metrics import cdf_points, percentile, summarize
+from .parallel import PointSpec, SweepExecutor, expand_sweep, point_spec
 from .report import (
     THROUGHPUT_HEADERS,
     format_table,
@@ -60,4 +62,11 @@ __all__ = [
     "write_json",
     "write_cdf_csv",
     "result_row",
+    "PointSpec",
+    "SweepExecutor",
+    "expand_sweep",
+    "point_spec",
+    "ResultCache",
+    "code_fingerprint",
+    "spec_key",
 ]

@@ -1,0 +1,164 @@
+"""Content-addressed on-disk cache for sweep results.
+
+The simulation is a pure function of a :class:`~repro.harness.parallel.
+PointSpec` and the simulator's source code — so its result can be
+memoized under a key derived from exactly those two inputs:
+
+* the **spec key**: SHA-256 of the spec's canonical (sorted-keys) JSON;
+* the **code fingerprint**: SHA-256 over the per-file content hashes of
+  every ``.py`` file under ``src/repro/{core,sim,baselines,workload,
+  harness}`` — the modules whose behaviour a run's output can depend on.
+
+Layout::
+
+    .repro-cache/
+        <code-fingerprint>/
+            <spec-key>.json     # {"spec": {...}, "result": RunResult dict}
+
+Any edit to a fingerprinted source file changes the fingerprint, which
+changes the directory every lookup goes through — the whole cache is
+invalidated automatically, and the stale generation directories are
+pruned on construction. Corrupt or unreadable entries are treated as
+misses and deleted, never raised.
+
+The cache never touches the wall clock and derives nothing from ambient
+randomness (it is inside the DET001 static-analysis scope); entry writes
+go through ``os.replace`` so concurrent executors can share a cache
+directory without torn reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .parallel import PointSpec
+from .runner import RunResult
+
+#: Default cache directory (relative to the invoking process's cwd).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Packages (under ``src/repro``) whose source feeds the fingerprint:
+#: everything a ``run_load_point`` outcome can depend on.
+FINGERPRINT_PACKAGES: Tuple[str, ...] = (
+    "core",
+    "sim",
+    "baselines",
+    "workload",
+    "harness",
+)
+
+#: Where ``src/repro`` lives, resolved from this file.
+_DEFAULT_SRC_ROOT = Path(__file__).resolve().parents[1]
+
+
+def code_fingerprint(src_root: Optional[Path] = None) -> str:
+    """SHA-256 over (relative path, content hash) of fingerprinted sources.
+
+    Files are visited in sorted relative-path order so the digest is
+    stable across platforms and filesystems.
+    """
+    root = Path(src_root) if src_root is not None else _DEFAULT_SRC_ROOT
+    digest = hashlib.sha256()
+    for package in FINGERPRINT_PACKAGES:
+        base = root / package
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()
+
+
+def spec_key(spec: PointSpec) -> str:
+    """SHA-256 of the spec's canonical JSON."""
+    canonical = json.dumps(spec.canonical(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store mapping :class:`PointSpec` to RunResult.
+
+    Args:
+        root: cache directory (created lazily on the first store).
+        src_root: override for the fingerprinted source tree — tests
+            point this at synthetic trees to exercise invalidation.
+
+    Attributes:
+        hits / misses / stores: lookup counters for this instance. A
+            warm sweep shows ``misses == 0`` — no simulation ran.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, src_root: Optional[Path] = None
+    ) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
+        self.fingerprint = code_fingerprint(src_root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._prune_stale_generations()
+
+    # -- layout ---------------------------------------------------------
+
+    @property
+    def generation_dir(self) -> Path:
+        """Directory holding entries for the current code fingerprint."""
+        return self.root / self.fingerprint
+
+    def entry_path(self, spec: PointSpec) -> Path:
+        return self.generation_dir / f"{spec_key(spec)}.json"
+
+    def _prune_stale_generations(self) -> None:
+        """Drop entry directories written under other code fingerprints."""
+        if not self.root.is_dir():
+            return
+        for child in sorted(self.root.iterdir()):
+            if child.is_dir() and child.name != self.fingerprint:
+                shutil.rmtree(child, ignore_errors=True)
+
+    # -- lookup / store -------------------------------------------------
+
+    def get(self, spec: PointSpec) -> Optional[RunResult]:
+        """Cached result for ``spec``, or None. Corrupt entries are
+        discarded (deleted) and reported as misses, never raised."""
+        path = self.entry_path(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = RunResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Truncated write, hand-edited file, schema drift: treat as
+            # absent and clear the slot so the re-run can repopulate it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: PointSpec, result: RunResult) -> Path:
+        """Store ``result`` under ``spec``'s key (atomic replace)."""
+        path = self.entry_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": spec.canonical(), "result": result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def clear(self) -> None:
+        """Delete every entry (all generations)."""
+        if self.root.is_dir():
+            shutil.rmtree(self.root, ignore_errors=True)

@@ -5,7 +5,7 @@ Usage::
     python -m repro.harness.cli table1
     python -m repro.harness.cli table2
     python -m repro.harness.cli figure2 [--full] [--seed N]
-    python -m repro.harness.cli figure3 [--dests 1,2,4,8]
+    python -m repro.harness.cli figure3 [--dests 1,2,4,8] [--jobs 8]
     python -m repro.harness.cli figure4
     python -m repro.harness.cli figure5
     python -m repro.harness.cli point --protocol primcast \\
@@ -13,6 +13,13 @@ Usage::
 
 Prints the same rows/series the benches under ``benchmarks/`` assert
 against; handy for ad-hoc exploration without pytest.
+
+Figure sweeps accept ``--jobs N`` (fan the grid out over N worker
+processes — rows are bit-identical at any job count), ``--cache-dir``
+and ``--no-cache``: by default the CLI memoizes every load point in a
+content-addressed cache under ``.repro-cache/``, keyed on the point spec
+and a fingerprint of the simulator sources, so rerunning a figure after
+an unrelated edit is instant and any source change re-simulates.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ from ..workload.scenarios import (
     wan_distributed_leaders,
 )
 from .analytic import COMPLEXITY_FORMULAS, LATENCY_PROFILES, message_complexity, table1_rows
+from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .export import write_csv
 from .experiments import figure2, figure3, figure4, figure5
 from .metrics import percentile
+from .parallel import SweepExecutor
 from .report import format_table, print_results
 from .runner import PROTOCOLS, run_load_point
 from .steps import measure_collision_free, measure_primcast_convoy
@@ -83,32 +92,59 @@ def _maybe_export(args: argparse.Namespace, results) -> None:
         print(f"\nwrote {args.csv}")
 
 
+def _executor(args: argparse.Namespace) -> SweepExecutor:
+    """Build the sweep executor from the --jobs/--no-cache/--cache-dir
+    flags. The CLI caches by default (an interactive rerun of the same
+    figure should be instant); the library default stays cache-off."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
+
+
+def _report_executor(executor: SweepExecutor) -> None:
+    stats = executor.last_stats
+    if stats["points"]:
+        print(
+            f"\n[{stats['points']} points: {stats['hits']} cached, "
+            f"{stats['ran']} simulated, jobs={executor.jobs}]"
+        )
+
+
 def cmd_figure2(args: argparse.Namespace) -> None:
-    results = figure2(full=args.full, seed=args.seed)
+    executor = _executor(args)
+    results = figure2(full=args.full, seed=args.seed, executor=executor)
     print_results("Figure 2: LAN, 2 destinations", results)
+    _report_executor(executor)
     _maybe_export(args, results)
 
 
 def cmd_figure3(args: argparse.Namespace) -> None:
     dests = [int(d) for d in args.dests.split(",")] if args.dests else (1, 2, 4, 8)
+    executor = _executor(args)
     all_results = []
-    for d, results in figure3(full=args.full, seed=args.seed, dest_counts=dests).items():
+    for d, results in figure3(
+        full=args.full, seed=args.seed, dest_counts=dests, executor=executor
+    ).items():
         print_results(f"Figure 3: WAN colocated leaders, {d} destination(s)", results)
         all_results.extend(results)
+    _report_executor(executor)
     _maybe_export(args, all_results)
 
 
 def cmd_figure4(args: argparse.Namespace) -> None:
     dests = [int(d) for d in args.dests.split(",")] if args.dests else (2, 4)
+    executor = _executor(args)
     all_results = []
-    for d, results in figure4(full=args.full, seed=args.seed, dest_counts=dests).items():
+    for d, results in figure4(
+        full=args.full, seed=args.seed, dest_counts=dests, executor=executor
+    ).items():
         print_results(f"Figure 4: WAN distributed leaders, {d} destinations", results)
         all_results.extend(results)
+    _report_executor(executor)
     _maybe_export(args, all_results)
 
 
 def cmd_figure5(args: argparse.Namespace) -> None:
-    curves_by_load = figure5(full=args.full, seed=args.seed)
+    curves_by_load = figure5(full=args.full, seed=args.seed, executor=_executor(args))
     for load, curves in curves_by_load.items():
         print(f"\n== Figure 5: CDF summaries, {load} outstanding ==")
         rows = []
@@ -155,6 +191,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--full", action="store_true", help="paper-scale sweep")
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--csv", help="also write the rows to this CSV file")
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the sweep (1 = serial; results are "
+            "bit-identical at any job count)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the content-addressed result cache",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=DEFAULT_CACHE_DIR,
+            help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+        )
 
     sub.add_parser("table1").set_defaults(fn=cmd_table1)
     sub.add_parser("table2").set_defaults(fn=cmd_table2)

@@ -7,6 +7,14 @@ targets print. Sizes default to a *reduced* sweep so the bench suite
 finishes in minutes; ``full=True`` (or the ``REPRO_FULL=1`` environment
 variable in the benches) runs the paper-scale sweep recorded in
 EXPERIMENTS.md.
+
+Every figure is a grid of independent deterministic load points, so all
+of them route through :class:`~repro.harness.parallel.SweepExecutor`:
+pass ``executor=SweepExecutor(jobs=N, cache=...)`` to fan the grid out
+over N worker processes and/or memoize points in the content-addressed
+result cache. The default executor (``jobs=1``, no cache) is exactly
+the historical serial path — same seeds, same event schedules,
+bit-identical rows.
 """
 
 from __future__ import annotations
@@ -21,7 +29,8 @@ from ..workload.scenarios import (
     wan_distributed_leaders,
 )
 from .metrics import cdf_points
-from .runner import RunResult, run_load_point
+from .parallel import SweepExecutor, expand_sweep
+from .runner import RunResult
 
 #: The four curves of every figure.
 FIGURE_PROTOCOLS = ("whitebox", "fastcast", "primcast", "primcast-hc")
@@ -41,28 +50,32 @@ def sweep(
     measure_ms: float = 1000.0,
     cost_model: Optional[CostModel] = None,
     keep_samples: bool = False,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[RunResult]:
-    """Run a protocol × load grid on one scenario/destination count."""
-    results = []
-    for protocol in protocols:
-        for outstanding in loads:
-            results.append(
-                run_load_point(
-                    protocol,
-                    scenario,
-                    n_dest_groups,
-                    outstanding,
-                    seed=seed,
-                    warmup_ms=warmup_ms,
-                    measure_ms=measure_ms,
-                    cost_model=cost_model,
-                    keep_samples=keep_samples,
-                )
-            )
-    return results
+    """Run a protocol × load grid on one scenario/destination count.
+
+    Rows come back in grid order (protocol-major, load-minor) regardless
+    of the executor's parallelism.
+    """
+    specs = expand_sweep(
+        protocols,
+        scenario,
+        n_dest_groups,
+        loads,
+        seed=seed,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        cost_model=cost_model,
+        keep_samples=keep_samples,
+    )
+    if executor is None:
+        executor = SweepExecutor()
+    return executor.run(specs)
 
 
-def figure2(full: bool = False, seed: int = 1) -> List[RunResult]:
+def figure2(
+    full: bool = False, seed: int = 1, executor: Optional[SweepExecutor] = None
+) -> List[RunResult]:
     """Fig 2: LAN, all messages to 2 groups, throughput vs p95 latency."""
     loads = FULL_LOADS if full else REDUCED_LOADS
     return sweep(
@@ -73,6 +86,7 @@ def figure2(full: bool = False, seed: int = 1) -> List[RunResult]:
         seed=seed,
         warmup_ms=100.0 if not full else 200.0,
         measure_ms=200.0 if not full else 500.0,
+        executor=executor,
     )
 
 
@@ -80,6 +94,7 @@ def figure3(
     full: bool = False,
     seed: int = 1,
     dest_counts: Sequence[int] = (1, 2, 4, 8),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[int, List[RunResult]]:
     """Fig 3a–d: WAN with colocated leaders, 1/2/4/8 destination groups."""
     loads = FULL_LOADS if full else REDUCED_LOADS
@@ -93,6 +108,7 @@ def figure3(
             seed=seed,
             warmup_ms=600.0 if not full else 1000.0,
             measure_ms=1000.0 if not full else 2000.0,
+            executor=executor,
         )
         for d in dest_counts
     }
@@ -102,6 +118,7 @@ def figure4(
     full: bool = False,
     seed: int = 1,
     dest_counts: Sequence[int] = (2, 4),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[int, List[RunResult]]:
     """Fig 4a–b: WAN with distributed leaders (convoy territory)."""
     loads = FULL_LOADS if full else REDUCED_LOADS
@@ -115,6 +132,7 @@ def figure4(
             seed=seed,
             warmup_ms=800.0 if not full else 1500.0,
             measure_ms=1200.0 if not full else 2500.0,
+            executor=executor,
         )
         for d in dest_counts
     }
@@ -124,6 +142,7 @@ def figure5(
     full: bool = False,
     seed: int = 1,
     loads: Tuple[int, int] = (2, 128),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[int, Dict[str, List[Tuple[float, float]]]]:
     """Fig 5a–b: latency CDFs at low and high load, 2 destination groups,
     WAN distributed leaders. The extra ``whitebox-leaders`` series
@@ -133,20 +152,30 @@ def figure5(
     leader_pids: Set[int] = {
         config.initial_leader(g) for g in range(config.n_groups)
     }
+    if executor is None:
+        executor = SweepExecutor()
+    # One flat grid (load-major, protocol-minor — the historical nesting)
+    # so the executor can run all CDF points concurrently.
+    specs = [
+        spec
+        for outstanding in loads
+        for spec in expand_sweep(
+            FIGURE_PROTOCOLS,
+            scenario,
+            2,
+            (outstanding,),
+            seed=seed,
+            warmup_ms=800.0 if not full else 1500.0,
+            measure_ms=1200.0 if not full else 2500.0,
+            keep_samples=True,
+        )
+    ]
+    results = iter(executor.run(specs))
     out: Dict[int, Dict[str, List[Tuple[float, float]]]] = {}
     for outstanding in loads:
         curves: Dict[str, List[Tuple[float, float]]] = {}
         for protocol in FIGURE_PROTOCOLS:
-            result = run_load_point(
-                protocol,
-                scenario,
-                n_dest_groups=2,
-                outstanding=outstanding,
-                seed=seed,
-                warmup_ms=800.0 if not full else 1500.0,
-                measure_ms=1200.0 if not full else 2500.0,
-                keep_samples=True,
-            )
+            result = next(results)
             lats = [lat for _, _, lat in result.samples]
             curves[protocol] = cdf_points(lats)
             if protocol == "whitebox":

@@ -31,19 +31,26 @@ CSV_FIELDS = (
 
 
 def result_row(result: RunResult) -> Dict[str, object]:
-    """Flatten one RunResult into a CSV/JSON-friendly dict."""
+    """Flatten one RunResult into a CSV/JSON-friendly dict.
+
+    Built on :meth:`RunResult.to_dict` (the shared full serialization,
+    also used by the result cache); this view keeps only the flat,
+    plot-ready columns of :data:`CSV_FIELDS`.
+    """
+    data = result.to_dict()
+    latency = data["latency"]
     return {
-        "protocol": result.protocol,
-        "scenario": result.scenario,
-        "n_dest_groups": result.n_dest_groups,
-        "outstanding": result.outstanding,
-        "throughput": result.throughput,
-        "mean_ms": result.latency.get("mean", 0.0),
-        "p50_ms": result.latency.get("p50", 0.0),
-        "p95_ms": result.latency.get("p95", 0.0),
-        "p99_ms": result.latency.get("p99", 0.0),
-        "samples": int(result.latency.get("count", 0)),
-        "events": result.events,
+        "protocol": data["protocol"],
+        "scenario": data["scenario"],
+        "n_dest_groups": data["n_dest_groups"],
+        "outstanding": data["outstanding"],
+        "throughput": data["throughput"],
+        "mean_ms": latency.get("mean", 0.0),
+        "p50_ms": latency.get("p50", 0.0),
+        "p95_ms": latency.get("p95", 0.0),
+        "p99_ms": latency.get("p99", 0.0),
+        "samples": int(latency.get("count", 0)),
+        "events": data["events"],
     }
 
 

@@ -1,0 +1,289 @@
+"""Parallel sweep executor: shard independent load points across cores.
+
+Every figure of §7 is a grid of fully independent, deterministic
+:func:`~repro.harness.runner.run_load_point` calls — each one builds its
+own :class:`~repro.sim.events.Scheduler` and derives all randomness from
+its own root seed via :func:`repro.sim.rng.child_rng`. Nothing is shared
+between points, so the grid can be fanned out over a process pool and
+merged back **in spec order**, producing output bit-identical to the
+serial loop (pinned by ``tests/harness/test_parallel.py``).
+
+The unit of work is a :class:`PointSpec`: a frozen, JSON-canonicalizable
+description of one load point. Specs serve two masters:
+
+* the :class:`SweepExecutor` pickles them to worker processes (the
+  worker rebuilds the scenario from the Table 2 registry and calls
+  ``run_load_point``), and
+* the content-addressed result cache (:mod:`repro.harness.cache`) hashes
+  their canonical JSON as half of the cache key.
+
+Determinism: workers receive the per-point seed inside the spec — the
+same seed the serial path would pass — and ``run_load_point`` derives
+every RNG stream from it through ``child_rng``. This module itself draws
+no randomness and never reads the wall clock; it is inside the DET001
+static-analysis scope (see ``repro.analysis.config.DET_SCOPE``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.costs import CostModel
+from ..workload.scenarios import (
+    Scenario,
+    lan_scenario,
+    wan_colocated_leaders,
+    wan_distributed_leaders,
+)
+from .runner import RunResult, run_load_point
+
+#: Canonical scenario name -> builder. A :class:`PointSpec` stores the
+#: scenario by (name, n_groups, group_size) so it stays picklable and
+#: content-addressable; workers rebuild the scenario from this registry.
+SCENARIO_BUILDERS: Dict[str, Callable[[int, int], Scenario]] = {
+    "LAN": lan_scenario,
+    "WAN - colocated leaders": wan_colocated_leaders,
+    "WAN - distributed leaders": wan_distributed_leaders,
+}
+
+
+def build_scenario(name: str, n_groups: int, group_size: int) -> Scenario:
+    """Rebuild a Table 2 scenario from its canonical name and shape."""
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; the sweep executor only handles the "
+            f"Table 2 scenarios {sorted(SCENARIO_BUILDERS)} (custom latency "
+            f"geometries cannot be reconstructed in worker processes)"
+        ) from None
+    return builder(n_groups, group_size)
+
+
+def cost_model_spec(model: Optional[CostModel]) -> Optional[Dict[str, Any]]:
+    """Canonical, JSON-safe description of a cost model (None = default).
+
+    :class:`~repro.sim.costs.CostModel` is a pure value object — per-kind
+    cost tables plus defaults — so its full parameter set is the spec.
+    """
+    if model is None:
+        return None
+    return {
+        "recv_costs": dict(model.recv_costs),
+        "send_costs": dict(model.send_costs),
+        "default_recv": model.default_recv,
+        "default_send": model.default_send,
+    }
+
+
+def cost_model_from_spec(spec: Optional[Dict[str, Any]]) -> Optional[CostModel]:
+    """Inverse of :func:`cost_model_spec`."""
+    if spec is None:
+        return None
+    return CostModel(
+        recv_costs=dict(spec["recv_costs"]),
+        send_costs=dict(spec["send_costs"]),
+        default_recv=spec["default_recv"],
+        default_send=spec["default_send"],
+    )
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One (protocol, scenario, destinations, load) point, fully described.
+
+    Every field is JSON-safe; ``canonical()`` is the stable dict the
+    cache hashes. ``cost_model`` is the expanded cost table from
+    :func:`cost_model_spec` (None = the calibrated default model).
+    """
+
+    protocol: str
+    scenario: str
+    n_groups: int
+    group_size: int
+    n_dest_groups: int
+    outstanding: int
+    seed: int = 1
+    warmup_ms: float = 500.0
+    measure_ms: float = 1000.0
+    keep_samples: bool = False
+    batching_ms: float = 0.0
+    epsilon_ms: Optional[float] = None
+    cost_model: Optional[Dict[str, Any]] = field(default=None, compare=True)
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe dict with a stable field set (cache-key input)."""
+        return asdict(self)
+
+    def run(self) -> RunResult:
+        """Execute this point (in whatever process we happen to be)."""
+        scenario = build_scenario(self.scenario, self.n_groups, self.group_size)
+        return run_load_point(
+            self.protocol,
+            scenario,
+            self.n_dest_groups,
+            self.outstanding,
+            seed=self.seed,
+            warmup_ms=self.warmup_ms,
+            measure_ms=self.measure_ms,
+            cost_model=cost_model_from_spec(self.cost_model),
+            epsilon_ms=self.epsilon_ms,
+            keep_samples=self.keep_samples,
+            batching_ms=self.batching_ms,
+        )
+
+
+def point_spec(
+    protocol: str,
+    scenario: Scenario,
+    n_dest_groups: int,
+    outstanding: int,
+    seed: int = 1,
+    warmup_ms: float = 500.0,
+    measure_ms: float = 1000.0,
+    cost_model: Optional[CostModel] = None,
+    epsilon_ms: Optional[float] = None,
+    keep_samples: bool = False,
+    batching_ms: float = 0.0,
+) -> PointSpec:
+    """Build a :class:`PointSpec` mirroring one ``run_load_point`` call.
+
+    ``scenario.epsilon_ms`` is captured into the spec explicitly (unless
+    overridden), so a caller who customized the skew bound on the
+    scenario object still round-trips through worker reconstruction.
+    """
+    if scenario.name not in SCENARIO_BUILDERS:
+        raise ValueError(
+            f"unknown scenario {scenario.name!r}; the sweep executor only "
+            f"handles the Table 2 scenarios {sorted(SCENARIO_BUILDERS)}"
+        )
+    eps = epsilon_ms if epsilon_ms is not None else scenario.epsilon_ms
+    return PointSpec(
+        protocol=protocol,
+        scenario=scenario.name,
+        n_groups=scenario.n_groups,
+        group_size=scenario.group_size,
+        n_dest_groups=n_dest_groups,
+        outstanding=outstanding,
+        seed=seed,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        keep_samples=keep_samples,
+        batching_ms=batching_ms,
+        epsilon_ms=eps,
+        cost_model=cost_model_spec(cost_model),
+    )
+
+
+def expand_sweep(
+    protocols: Sequence[str],
+    scenario: Scenario,
+    n_dest_groups: int,
+    loads: Sequence[int],
+    seed: int = 1,
+    warmup_ms: float = 500.0,
+    measure_ms: float = 1000.0,
+    cost_model: Optional[CostModel] = None,
+    epsilon_ms: Optional[float] = None,
+    keep_samples: bool = False,
+    batching_ms: float = 0.0,
+) -> List[PointSpec]:
+    """Flatten a protocol × load grid into specs, in serial-sweep order."""
+    return [
+        point_spec(
+            protocol,
+            scenario,
+            n_dest_groups,
+            outstanding,
+            seed=seed,
+            warmup_ms=warmup_ms,
+            measure_ms=measure_ms,
+            cost_model=cost_model,
+            epsilon_ms=epsilon_ms,
+            keep_samples=keep_samples,
+            batching_ms=batching_ms,
+        )
+        for protocol in protocols
+        for outstanding in loads
+    ]
+
+
+def _run_spec(spec: PointSpec) -> RunResult:
+    """Pool worker entry point (module-level so it pickles by reference)."""
+    return spec.run()
+
+
+def default_mp_context() -> str:
+    """Start method for worker pools: ``fork`` where available (cheap,
+    inherits the imported simulator), else ``spawn``. Either produces
+    identical results — workers only consume the explicit spec seed."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class SweepExecutor:
+    """Runs a flat list of :class:`PointSpec` and merges results in order.
+
+    Args:
+        jobs: worker processes. 1 (the default) runs inline in this
+            process — no pool, byte-for-byte the historical serial path.
+        cache: optional :class:`~repro.harness.cache.ResultCache`. Hits
+            skip simulation entirely; misses run and populate. None (the
+            default) disables caching.
+        mp_context: multiprocessing start method (default: ``fork`` when
+            available, else ``spawn``).
+
+    After each :meth:`run`, :attr:`last_stats` reports how many points
+    were served from cache vs simulated — the warm-cache acceptance
+    check ("zero simulation events executed") asserts ``ran == 0``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[Any] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.mp_context = mp_context
+        self.last_stats: Dict[str, int] = {"points": 0, "hits": 0, "ran": 0}
+
+    def run(self, specs: Sequence[PointSpec]) -> List[RunResult]:
+        """Execute every spec; results come back in spec order."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        misses: List[int] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.append(i)
+        if misses:
+            ran = self._execute([specs[i] for i in misses])
+            for i, result in zip(misses, ran):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(specs[i], result)
+        self.last_stats = {
+            "points": len(specs),
+            "hits": len(specs) - len(misses),
+            "ran": len(misses),
+        }
+        return [r for r in results if r is not None]
+
+    def _execute(self, specs: List[PointSpec]) -> List[RunResult]:
+        if self.jobs == 1 or len(specs) == 1:
+            return [_run_spec(spec) for spec in specs]
+        context = multiprocessing.get_context(self.mp_context or default_mp_context())
+        workers = min(self.jobs, len(specs))
+        with context.Pool(processes=workers) as pool:
+            # chunksize=1: load points differ wildly in cost (outstanding
+            # spans 1..128), so fine-grained dispatch balances the pool.
+            # Pool.map preserves submission order, which is spec order.
+            return pool.map(_run_spec, specs, chunksize=1)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import os
 import pstats
 import time
 from dataclasses import asdict, dataclass, field
@@ -29,6 +30,8 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..workload.scenarios import Scenario, wan_colocated_leaders
+from .cache import ResultCache
+from .parallel import SweepExecutor, expand_sweep
 from .runner import RunResult, run_load_point
 
 #: Default location of the perf record, at the repository root.
@@ -119,6 +122,7 @@ def measure_load_point(
         f"{scenario.name}-{protocol}-d{n_dest_groups}-o{outstanding}"
         + (f"-b{batching_ms:g}" if batching_ms else "")
     )
+    data = result.to_dict()
     return PerfPoint(
         point=name,
         protocol=protocol,
@@ -128,11 +132,11 @@ def measure_load_point(
         batching_ms=batching_ms,
         wall_s=best,
         walls_s=[round(w, 4) for w in walls],
-        events=result.events,
-        events_per_sec=result.events / best if best > 0 else 0.0,
-        throughput=result.throughput,
-        wire_messages=sum(result.message_counts.values()),
-        message_counts=dict(result.message_counts),
+        events=data["events"],
+        events_per_sec=data["events"] / best if best > 0 else 0.0,
+        throughput=data["throughput"],
+        wire_messages=sum(data["message_counts"].values()),
+        message_counts=data["message_counts"],
     )
 
 
@@ -178,6 +182,92 @@ def batching_delta(
         "on": asdict(on),
         "batching_ms": batching_ms,
         "wire_reduction": reduction,
+    }
+
+
+def measure_sweep_scaling(
+    jobs: int = 0,
+    protocols: tuple = ("whitebox", "fastcast", "primcast", "primcast-hc"),
+    scenario: Optional[Scenario] = None,
+    n_dest_groups: int = 2,
+    loads: tuple = (1, 4, 16, 64),
+    seed: int = 1,
+    warmup_ms: float = 600.0,
+    measure_ms: float = 1000.0,
+    cache_dir: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Fig-3-shaped sweep: serial vs parallel vs warm-cache wall clock.
+
+    The defaults reproduce ``figure3(full=False)`` at 2 destination
+    groups (16 points). Three passes through the same
+    :class:`SweepExecutor` machinery:
+
+    1. **serial + cold cache** (``jobs=1``): the historical one-core
+       path, which also populates a fresh content-addressed cache;
+    2. **parallel** (``jobs`` workers, cache off): pure fan-out timing;
+    3. **warm cache** (``jobs=1``): every point must come back as a hit
+       — ``warm_hits == points`` certifies zero simulation ran.
+
+    Both the parallel and the warm pass are checked field-for-field
+    against the serial results (``identical``/``warm_identical``) — the
+    executor contract is bit-identical output, not "close enough".
+    """
+    import shutil
+    import tempfile
+
+    if scenario is None:
+        scenario = wan_colocated_leaders()
+    if jobs < 1:
+        jobs = os.cpu_count() or 2
+    specs = expand_sweep(
+        protocols,
+        scenario,
+        n_dest_groups,
+        loads,
+        seed=seed,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+    )
+    own_tmp = cache_dir is None
+    cache_root = Path(tempfile.mkdtemp(prefix="repro-cache-")) if own_tmp else Path(cache_dir)
+    try:
+        cache = ResultCache(cache_root)
+        serial = SweepExecutor(jobs=1, cache=cache)
+        t0 = time.perf_counter()
+        serial_results = serial.run(specs)
+        serial_s = time.perf_counter() - t0
+
+        parallel = SweepExecutor(jobs=jobs)
+        t0 = time.perf_counter()
+        parallel_results = parallel.run(specs)
+        parallel_s = time.perf_counter() - t0
+
+        warm = SweepExecutor(jobs=1, cache=ResultCache(cache_root))
+        t0 = time.perf_counter()
+        warm_results = warm.run(specs)
+        warm_s = time.perf_counter() - t0
+    finally:
+        if own_tmp:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    return {
+        "point": f"{scenario.name}-d{n_dest_groups}-sweep{len(specs)}",
+        "points": len(specs),
+        "loads": list(loads),
+        "protocols": list(protocols),
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else 0.0,
+        "warm_cache_s": round(warm_s, 4),
+        "cache_speedup": round(serial_s / warm_s, 1) if warm_s > 0 else 0.0,
+        "warm_hits": warm.last_stats["hits"],
+        "warm_ran": warm.last_stats["ran"],
+        "identical": parallel_results == serial_results,
+        "warm_identical": warm_results == serial_results,
+        "total_events": sum(r.events for r in serial_results),
     }
 
 

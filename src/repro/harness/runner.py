@@ -149,6 +149,41 @@ class RunResult:
         (used to isolate White-Box leader deliveries in Fig 5)."""
         return [lat for pid, _, lat in self.samples if pid in pids]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict capturing every field exactly.
+
+        The shared serialization for the result cache, ``export.py`` and
+        ``perf.py``; floats survive a JSON round trip bit-exactly
+        (``json`` emits ``repr``-precision), so
+        ``RunResult.from_dict(r.to_dict()) == r``.
+        """
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "n_dest_groups": self.n_dest_groups,
+            "outstanding": self.outstanding,
+            "throughput": self.throughput,
+            "latency": dict(self.latency),
+            "samples": [[pid, when, lat] for pid, when, lat in self.samples],
+            "message_counts": dict(self.message_counts),
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict` (JSON lists become sample tuples)."""
+        return cls(
+            protocol=data["protocol"],
+            scenario=data["scenario"],
+            n_dest_groups=data["n_dest_groups"],
+            outstanding=data["outstanding"],
+            throughput=data["throughput"],
+            latency=dict(data["latency"]),
+            samples=[(pid, when, lat) for pid, when, lat in data["samples"]],
+            message_counts=dict(data["message_counts"]),
+            events=data["events"],
+        )
+
 
 def run_load_point(
     protocol: str,
@@ -190,13 +225,19 @@ def run_load_point(
     for client in clients:
         client.stop()
 
+    # Latencies are collected unconditionally (the summary needs them);
+    # the per-sample (pid, when, lat) tuples only when the caller asked —
+    # at high load a full sweep would otherwise hold every sample of
+    # every point in memory just to throw them away.
     samples: List[Tuple[int, float, float]] = []
+    latencies: List[float] = []
     for client in clients:
         for pid, when, lat in client.samples:
             if warmup_ms <= when < end:
-                samples.append((pid, when, lat))
-    latencies = [lat for _, _, lat in samples]
-    throughput = len(samples) / (measure_ms / 1000.0)
+                latencies.append(lat)
+                if keep_samples:
+                    samples.append((pid, when, lat))
+    throughput = len(latencies) / (measure_ms / 1000.0)
     return RunResult(
         protocol=protocol,
         scenario=scenario.name,
@@ -204,7 +245,7 @@ def run_load_point(
         outstanding=outstanding,
         throughput=throughput,
         latency=summarize(latencies),
-        samples=samples if keep_samples else [],
+        samples=samples,
         message_counts=dict(system.network.counts_by_kind),
         events=system.scheduler.events_processed,
     )

@@ -1,0 +1,203 @@
+"""Tests for the content-addressed result cache (repro.harness.cache).
+
+Covers the three load-bearing behaviours:
+
+* a hit returns an *identical* RunResult without invoking the simulator
+  (asserted by monkeypatching the runner away and via the stored events
+  counter);
+* the code fingerprint covers ``src/repro/{core,sim,baselines,workload,
+  harness}`` and any change to a fingerprinted file invalidates every
+  entry automatically;
+* corrupt entries are discarded and re-run, never fatal.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.harness.parallel as parallel_mod
+from repro.harness.cache import (
+    FINGERPRINT_PACKAGES,
+    ResultCache,
+    code_fingerprint,
+    spec_key,
+)
+from repro.harness.parallel import SweepExecutor, expand_sweep, point_spec
+from repro.workload.scenarios import lan_scenario
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def tiny_specs(keep_samples=False):
+    return expand_sweep(
+        ("primcast",),
+        lan_scenario(2, 3),
+        2,
+        (1, 2),
+        seed=1,
+        warmup_ms=20.0,
+        measure_ms=40.0,
+        keep_samples=keep_samples,
+    )
+
+
+def no_simulation(monkeypatch):
+    """After this, any attempt to actually simulate explodes."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("simulation ran on what should be a cache hit")
+
+    monkeypatch.setattr(parallel_mod, "run_load_point", boom)
+
+
+# ----------------------------------------------------------------------
+# hits
+# ----------------------------------------------------------------------
+
+
+def test_cache_hit_returns_identical_result_without_simulating(
+    tmp_path, monkeypatch
+):
+    specs = tiny_specs(keep_samples=True)
+    cold = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c"))
+    want = cold.run(specs)
+    assert cold.last_stats == {"points": 2, "hits": 0, "ran": 2}
+
+    no_simulation(monkeypatch)
+    warm = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c"))
+    got = warm.run(specs)
+    assert warm.last_stats == {"points": 2, "hits": 2, "ran": 0}
+    assert got == want
+    # the events counter is the stored simulation's, not a fresh run's
+    assert [r.events for r in got] == [r.events for r in want]
+    assert all(r.events > 0 for r in got)
+
+
+def test_cache_counters_and_partial_hits(tmp_path):
+    specs = tiny_specs()
+    cache = ResultCache(tmp_path / "c")
+    executor = SweepExecutor(jobs=1, cache=cache)
+    executor.run(specs[:1])
+    assert (cache.misses, cache.stores, cache.hits) == (1, 1, 0)
+    executor.run(specs)
+    assert executor.last_stats == {"points": 2, "hits": 1, "ran": 1}
+
+
+def test_cache_key_separates_distinct_specs():
+    a = point_spec("primcast", lan_scenario(2, 3), 2, 1, seed=1)
+    b = point_spec("primcast", lan_scenario(2, 3), 2, 1, seed=2)
+    c = point_spec("whitebox", lan_scenario(2, 3), 2, 1, seed=1)
+    assert len({spec_key(a), spec_key(b), spec_key(c)}) == 3
+
+
+# ----------------------------------------------------------------------
+# invalidation by code fingerprint
+# ----------------------------------------------------------------------
+
+
+def fake_tree(root: Path) -> Path:
+    src = root / "src" / "repro"
+    for package in FINGERPRINT_PACKAGES:
+        (src / package).mkdir(parents=True)
+        (src / package / "mod.py").write_text(f"x = '{package}'\n")
+    return src
+
+
+def test_fingerprint_covers_every_simulation_package(tmp_path):
+    src = fake_tree(tmp_path)
+    base = code_fingerprint(src)
+    for package in FINGERPRINT_PACKAGES:
+        target = src / package / "mod.py"
+        original = target.read_text()
+        target.write_text(original + "# touched\n")
+        assert code_fingerprint(src) != base, (
+            f"editing {package}/ must change the fingerprint"
+        )
+        target.write_text(original)
+    assert code_fingerprint(src) == base
+
+
+def test_fingerprint_ignores_non_fingerprinted_files(tmp_path):
+    src = fake_tree(tmp_path)
+    base = code_fingerprint(src)
+    (src / "analysis").mkdir()
+    (src / "analysis" / "mod.py").write_text("y = 1\n")
+    (src / "core" / "notes.md").write_text("not python\n")
+    assert code_fingerprint(src) == base
+
+
+def test_real_tree_fingerprint_is_stable():
+    assert code_fingerprint(SRC_REPRO) == code_fingerprint(SRC_REPRO)
+
+
+def test_touching_core_invalidates_all_entries(tmp_path, monkeypatch):
+    src = fake_tree(tmp_path)
+    root = tmp_path / "cache"
+    specs = tiny_specs()
+    executor = SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src))
+    executor.run(specs)
+    assert executor.last_stats["ran"] == 2
+
+    # same code -> hits
+    warm = SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src))
+    warm.run(specs)
+    assert warm.last_stats == {"points": 2, "hits": 2, "ran": 0}
+
+    # change a file under core/ -> new fingerprint, forced re-run,
+    # and the stale generation directory is pruned from disk
+    (src / "core" / "mod.py").write_text("x = 'core-v2'\n")
+    stale = ResultCache(root, src_root=src)
+    invalidated = SweepExecutor(jobs=1, cache=stale)
+    invalidated.run(specs)
+    assert invalidated.last_stats == {"points": 2, "hits": 0, "ran": 2}
+    generations = [p.name for p in root.iterdir() if p.is_dir()]
+    assert generations == [stale.fingerprint]
+
+
+# ----------------------------------------------------------------------
+# corruption
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        "not json at all {{{",
+        json.dumps({"wrong": "schema"}),
+        json.dumps({"spec": {}, "result": {"protocol": "primcast"}}),
+        "",
+    ],
+)
+def test_corrupt_entries_are_discarded_not_fatal(tmp_path, corruption):
+    specs = tiny_specs()
+    cache = ResultCache(tmp_path / "c")
+    executor = SweepExecutor(jobs=1, cache=cache)
+    want = executor.run(specs)
+
+    entry = cache.entry_path(specs[0])
+    assert entry.is_file()
+    entry.write_text(corruption)
+
+    fresh = ResultCache(tmp_path / "c")
+    assert fresh.get(specs[0]) is None
+    assert not entry.exists(), "corrupt entry must be deleted"
+    # the other entry is untouched and still hits
+    assert fresh.get(specs[1]) == want[1]
+
+    # a rerun repopulates the discarded slot
+    repair = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c"))
+    got = repair.run(specs)
+    assert got == want
+    assert repair.last_stats == {"points": 2, "hits": 1, "ran": 1}
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    executor = SweepExecutor(jobs=1, cache=cache)
+    specs = tiny_specs()
+    executor.run(specs)
+    cache.clear()
+    assert not (tmp_path / "c").exists()
+    fresh = ResultCache(tmp_path / "c")
+    assert fresh.get(specs[0]) is None

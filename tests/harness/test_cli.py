@@ -57,3 +57,39 @@ def test_parser_has_all_commands():
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_figure_commands_accept_executor_flags():
+    parser = build_parser()
+    for figure in ("figure2", "figure3", "figure4", "figure5"):
+        args = parser.parse_args(
+            [figure, "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
+
+def test_executor_flag_defaults_are_serial_with_cache():
+    from repro.harness.cache import DEFAULT_CACHE_DIR
+
+    args = build_parser().parse_args(["figure2"])
+    assert args.jobs == 1
+    assert args.no_cache is False
+    assert args.cache_dir == DEFAULT_CACHE_DIR
+
+
+def test_no_cache_builds_cacheless_executor(tmp_path):
+    from repro.harness.cli import _executor
+
+    args = build_parser().parse_args(
+        ["figure2", "--jobs", "2", "--no-cache", "--cache-dir", str(tmp_path / "c")]
+    )
+    executor = _executor(args)
+    assert executor.jobs == 2
+    assert executor.cache is None
+    # and with caching on, the executor carries a ResultCache at the dir
+    args = build_parser().parse_args(["figure2", "--cache-dir", str(tmp_path / "c")])
+    executor = _executor(args)
+    assert executor.cache is not None
+    assert str(executor.cache.root) == str(tmp_path / "c")
