@@ -14,7 +14,13 @@ from .diagnostics import ConvoyProbe, attach_probes, merged_summary
 from .experiments import FIGURE_PROTOCOLS, figure2, figure3, figure4, figure5, sweep
 from .export import result_row, write_cdf_csv, write_csv, write_json
 from .metrics import cdf_points, percentile, summarize
-from .parallel import PointSpec, SweepExecutor, expand_sweep, point_spec
+from .parallel import (
+    PointSpec,
+    SweepExecutor,
+    expand_sweep,
+    point_spec,
+    scenario_matches_registry,
+)
 from .report import (
     THROUGHPUT_HEADERS,
     format_table,
@@ -66,6 +72,7 @@ __all__ = [
     "SweepExecutor",
     "expand_sweep",
     "point_spec",
+    "scenario_matches_registry",
     "ResultCache",
     "code_fingerprint",
     "spec_key",

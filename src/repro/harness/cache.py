@@ -6,8 +6,10 @@ memoized under a key derived from exactly those two inputs:
 
 * the **spec key**: SHA-256 of the spec's canonical (sorted-keys) JSON;
 * the **code fingerprint**: SHA-256 over the per-file content hashes of
-  every ``.py`` file under ``src/repro/{core,sim,baselines,workload,
-  harness}`` — the modules whose behaviour a run's output can depend on.
+  every ``.py`` file under ``src/repro/{core,sim,baselines,rmcast,
+  election,consensus,workload,harness}`` — every package the simulated
+  event path can reach (the DET001 determinism scope plus the harness
+  that drives it).
 
 Layout::
 
@@ -17,9 +19,12 @@ Layout::
 
 Any edit to a fingerprinted source file changes the fingerprint, which
 changes the directory every lookup goes through — the whole cache is
-invalidated automatically, and the stale generation directories are
-pruned on construction. Corrupt or unreadable entries are treated as
-misses and deleted, never raised.
+invalidated automatically. Old generation directories are retained up
+to a small budget (:attr:`ResultCache.keep_generations`, least recently
+used evicted first) so two checkouts or a bisect sharing one cache
+directory keep each other's warm entries instead of destroying them.
+Corrupt or unreadable entries are treated as misses and deleted, never
+raised.
 
 The cache never touches the wall clock and derives nothing from ambient
 randomness (it is inside the DET001 static-analysis scope); entry writes
@@ -43,11 +48,18 @@ from .runner import RunResult
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Packages (under ``src/repro``) whose source feeds the fingerprint:
-#: everything a ``run_load_point`` outcome can depend on.
+#: everything a ``run_load_point`` outcome can depend on. This must
+#: cover the full import closure of the simulated event path — the
+#: runner pulls in ``election`` (Ω oracles), ``core`` pulls in
+#: ``rmcast`` (FIFO substrate) and the baselines pull in ``consensus``
+#: — pinned by ``tests/harness/test_cache.py``.
 FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "core",
     "sim",
     "baselines",
+    "rmcast",
+    "election",
+    "consensus",
     "workload",
     "harness",
 )
@@ -89,6 +101,11 @@ class ResultCache:
         root: cache directory (created lazily on the first store).
         src_root: override for the fingerprinted source tree — tests
             point this at synthetic trees to exercise invalidation.
+        keep_generations: how many generation directories (current
+            included) to retain; older generations beyond the budget are
+            evicted least-recently-used first. Keeping a few lets two
+            checkouts or a bisect share one cache directory without
+            repeatedly destroying each other's warm entries.
 
     Attributes:
         hits / misses / stores: lookup counters for this instance. A
@@ -96,13 +113,20 @@ class ResultCache:
     """
 
     def __init__(
-        self, root: Optional[Path] = None, src_root: Optional[Path] = None
+        self,
+        root: Optional[Path] = None,
+        src_root: Optional[Path] = None,
+        keep_generations: int = 4,
     ) -> None:
+        if keep_generations < 1:
+            raise ValueError("keep_generations must be at least 1")
         self.root = Path(root) if root is not None else Path(DEFAULT_CACHE_DIR)
         self.fingerprint = code_fingerprint(src_root)
+        self.keep_generations = keep_generations
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._touch_current_generation()
         self._prune_stale_generations()
 
     # -- layout ---------------------------------------------------------
@@ -115,13 +139,37 @@ class ResultCache:
     def entry_path(self, spec: PointSpec) -> Path:
         return self.generation_dir / f"{spec_key(spec)}.json"
 
+    def _touch_current_generation(self) -> None:
+        """Mark the current generation as most recently used, so a
+        bisect hopping between two fingerprints keeps both warm."""
+        gen = self.generation_dir
+        if gen.is_dir():
+            try:
+                os.utime(gen)
+            except OSError:
+                pass
+
     def _prune_stale_generations(self) -> None:
-        """Drop entry directories written under other code fingerprints."""
+        """Evict generation directories beyond the retention budget.
+
+        The current generation always survives; other fingerprints'
+        directories are kept newest-first (by directory mtime, name as
+        a deterministic tie-break) up to ``keep_generations`` total.
+        """
         if not self.root.is_dir():
             return
+        others = []
         for child in sorted(self.root.iterdir()):
             if child.is_dir() and child.name != self.fingerprint:
-                shutil.rmtree(child, ignore_errors=True)
+                try:
+                    mtime = child.stat().st_mtime
+                except OSError:
+                    mtime = 0.0
+                others.append((mtime, child.name, child))
+        others.sort(reverse=True)
+        # One retention slot is always the current generation's.
+        for _, _, stale in others[self.keep_generations - 1:]:
+            shutil.rmtree(stale, ignore_errors=True)
 
     # -- lookup / store -------------------------------------------------
 

@@ -101,7 +101,10 @@ def _executor(args: argparse.Namespace) -> SweepExecutor:
 
 
 def _report_executor(executor: SweepExecutor) -> None:
-    stats = executor.last_stats
+    # total_stats, not last_stats: figure3/figure4 run one sweep per
+    # --dests entry through the same executor, and the report must
+    # cover the whole command, not just the final sweep.
+    stats = executor.total_stats
     if stats["points"]:
         print(
             f"\n[{stats['points']} points: {stats['hits']} cached, "

@@ -29,8 +29,8 @@ from ..workload.scenarios import (
     wan_distributed_leaders,
 )
 from .metrics import cdf_points
-from .parallel import SweepExecutor, expand_sweep
-from .runner import RunResult
+from .parallel import SweepExecutor, expand_sweep, scenario_matches_registry
+from .runner import RunResult, run_load_point
 
 #: The four curves of every figure.
 FIGURE_PROTOCOLS = ("whitebox", "fastcast", "primcast", "primcast-hc")
@@ -56,7 +56,42 @@ def sweep(
 
     Rows come back in grid order (protocol-major, load-minor) regardless
     of the executor's parallelism.
+
+    Any :class:`Scenario` is accepted. A scenario that is not faithfully
+    reconstructable from the Table 2 registry — a custom name, or a
+    customized copy of a registry scenario — cannot cross a worker
+    process boundary or key the result cache, so it runs inline on the
+    historical serial path; combining such a scenario with ``jobs > 1``
+    or a cache raises instead of silently simulating the wrong geometry.
     """
+    if executor is None:
+        executor = SweepExecutor()
+    if not scenario_matches_registry(scenario):
+        if executor.jobs != 1 or executor.cache is not None:
+            raise ValueError(
+                f"scenario {scenario.name!r} is not a Table 2 registry "
+                f"scenario (or is a customized copy of one), so it cannot be "
+                f"reconstructed in worker processes or content-addressed in "
+                f"the result cache; run it with the default serial executor "
+                f"(jobs=1, no cache)"
+            )
+        results = [
+            run_load_point(
+                protocol,
+                scenario,
+                n_dest_groups,
+                outstanding,
+                seed=seed,
+                warmup_ms=warmup_ms,
+                measure_ms=measure_ms,
+                cost_model=cost_model,
+                keep_samples=keep_samples,
+            )
+            for protocol in protocols
+            for outstanding in loads
+        ]
+        executor.note_direct_runs(len(results))
+        return results
     specs = expand_sweep(
         protocols,
         scenario,
@@ -68,8 +103,6 @@ def sweep(
         cost_model=cost_model,
         keep_samples=keep_samples,
     )
-    if executor is None:
-        executor = SweepExecutor()
     return executor.run(specs)
 
 

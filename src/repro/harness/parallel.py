@@ -62,6 +62,31 @@ def build_scenario(name: str, n_groups: int, group_size: int) -> Scenario:
     return builder(n_groups, group_size)
 
 
+def scenario_matches_registry(scenario: Scenario) -> bool:
+    """True when ``scenario`` is faithfully reconstructable by name.
+
+    A worker (or a cache lookup) rebuilds the scenario from
+    :data:`SCENARIO_BUILDERS` using only ``(name, n_groups,
+    group_size)``, so a caller-customized object — a ``dataclasses.
+    replace`` with different RTTs, or a swapped latency builder — would
+    silently be replaced by the registry default. This check compares
+    the rebuild field-for-field so such scenarios are detected instead
+    of mis-simulated. ``epsilon_ms`` is excluded: the spec captures it
+    explicitly, so a customized skew bound round-trips fine.
+    """
+    builder = SCENARIO_BUILDERS.get(scenario.name)
+    if builder is None:
+        return False
+    rebuilt = builder(scenario.n_groups, scenario.group_size)
+    return (
+        rebuilt.description == scenario.description
+        and rebuilt.cross_group_rtt_ms == scenario.cross_group_rtt_ms
+        and rebuilt.intra_group_rtt_ms == scenario.intra_group_rtt_ms
+        # latency builders are stateless callables: same class, same model
+        and type(rebuilt._latency_builder) is type(scenario._latency_builder)
+    )
+
+
 def cost_model_spec(model: Optional[CostModel]) -> Optional[Dict[str, Any]]:
     """Canonical, JSON-safe description of a cost model (None = default).
 
@@ -153,11 +178,21 @@ def point_spec(
     ``scenario.epsilon_ms`` is captured into the spec explicitly (unless
     overridden), so a caller who customized the skew bound on the
     scenario object still round-trips through worker reconstruction.
+    Any *other* customization cannot round-trip and is rejected here —
+    :func:`repro.harness.experiments.sweep` falls back to running such
+    scenarios inline instead of building specs.
     """
     if scenario.name not in SCENARIO_BUILDERS:
         raise ValueError(
             f"unknown scenario {scenario.name!r}; the sweep executor only "
             f"handles the Table 2 scenarios {sorted(SCENARIO_BUILDERS)}"
+        )
+    if not scenario_matches_registry(scenario):
+        raise ValueError(
+            f"scenario {scenario.name!r} does not match its Table 2 registry "
+            f"definition (customized geometry?); workers rebuild scenarios "
+            f"from (name, n_groups, group_size) only, so a customized object "
+            f"would silently be replaced by the registry default"
         )
     eps = epsilon_ms if epsilon_ms is not None else scenario.epsilon_ms
     return PointSpec(
@@ -239,6 +274,10 @@ class SweepExecutor:
     After each :meth:`run`, :attr:`last_stats` reports how many points
     were served from cache vs simulated — the warm-cache acceptance
     check ("zero simulation events executed") asserts ``ran == 0``.
+    :attr:`total_stats` accumulates the same counters over the
+    executor's lifetime, so a figure that issues several sweeps (one per
+    destination count) can report the whole run, not just the last
+    sweep.
     """
 
     def __init__(
@@ -253,6 +292,18 @@ class SweepExecutor:
         self.cache = cache
         self.mp_context = mp_context
         self.last_stats: Dict[str, int] = {"points": 0, "hits": 0, "ran": 0}
+        self.total_stats: Dict[str, int] = {"points": 0, "hits": 0, "ran": 0}
+
+    def _record(self, points: int, hits: int, ran: int) -> None:
+        self.last_stats = {"points": points, "hits": hits, "ran": ran}
+        for key, value in self.last_stats.items():
+            self.total_stats[key] += value
+
+    def note_direct_runs(self, n: int) -> None:
+        """Account for ``n`` points simulated outside the spec machinery
+        (``sweep()`` runs non-registry scenarios inline; they bypass the
+        pool and the cache but still belong in the run's totals)."""
+        self._record(n, 0, n)
 
     def run(self, specs: Sequence[PointSpec]) -> List[RunResult]:
         """Execute every spec; results come back in spec order."""
@@ -270,11 +321,7 @@ class SweepExecutor:
                 results[i] = result
                 if self.cache is not None:
                     self.cache.put(specs[i], result)
-        self.last_stats = {
-            "points": len(specs),
-            "hits": len(specs) - len(misses),
-            "ran": len(misses),
-        }
+        self._record(len(specs), len(specs) - len(misses), len(misses))
         return [r for r in results if r is not None]
 
     def _execute(self, specs: List[PointSpec]) -> List[RunResult]:

@@ -5,13 +5,18 @@ Covers the three load-bearing behaviours:
 * a hit returns an *identical* RunResult without invoking the simulator
   (asserted by monkeypatching the runner away and via the stored events
   counter);
-* the code fingerprint covers ``src/repro/{core,sim,baselines,workload,
-  harness}`` and any change to a fingerprinted file invalidates every
-  entry automatically;
+* the code fingerprint covers every package the simulated event path
+  can reach (including ``rmcast``/``election``/``consensus``, pulled in
+  transitively by the runner and baselines) and any change to a
+  fingerprinted file invalidates every entry automatically;
+* stale generations are retained up to ``keep_generations`` (LRU), so
+  bisects sharing a cache directory keep each other warm;
 * corrupt entries are discarded and re-run, never fatal.
 """
 
+import ast
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -82,6 +87,9 @@ def test_cache_counters_and_partial_hits(tmp_path):
     assert (cache.misses, cache.stores, cache.hits) == (1, 1, 0)
     executor.run(specs)
     assert executor.last_stats == {"points": 2, "hits": 1, "ran": 1}
+    # total_stats aggregates over the executor's lifetime (the CLI
+    # reports it across the one-sweep-per-dest-count figure commands)
+    assert executor.total_stats == {"points": 3, "hits": 1, "ran": 2}
 
 
 def test_cache_key_separates_distinct_specs():
@@ -131,7 +139,52 @@ def test_real_tree_fingerprint_is_stable():
     assert code_fingerprint(SRC_REPRO) == code_fingerprint(SRC_REPRO)
 
 
-def test_touching_core_invalidates_all_entries(tmp_path, monkeypatch):
+def _repro_import_closure(entry_rel: str):
+    """Top-level ``repro.*`` packages statically reachable from one
+    module, by walking relative imports file-to-file."""
+    queue = [SRC_REPRO / entry_rel]
+    seen = set()
+    packages = set()
+    while queue:
+        path = queue.pop()
+        if path in seen or not path.is_file():
+            continue
+        seen.add(path)
+        rel = path.relative_to(SRC_REPRO)
+        if len(rel.parts) > 1:
+            packages.add(rel.parts[0])
+        for node in ast.walk(ast.parse(path.read_text())):
+            if not isinstance(node, ast.ImportFrom) or node.level == 0:
+                continue
+            base = path.parent
+            for _ in range(node.level - 1):
+                base = base.parent
+            target = base.joinpath(*(node.module or "").split("."))
+            queue.append(target.with_suffix(".py"))
+            queue.append(target / "__init__.py")
+    return packages
+
+
+def test_fingerprint_covers_runner_import_closure():
+    # every package the simulated event path can reach must feed the
+    # fingerprint, or edits there silently serve stale cached results
+    reached = _repro_import_closure("harness/runner.py")
+    missing = reached - set(FINGERPRINT_PACKAGES)
+    assert not missing, (
+        f"packages on the simulated event path are not fingerprinted: "
+        f"{sorted(missing)}"
+    )
+    # the full DET001 determinism scope is fingerprinted, reachable from
+    # the runner's static closure or not (e.g. consensus via classic)
+    assert {"rmcast", "election", "consensus", "core", "sim", "baselines"} <= set(
+        FINGERPRINT_PACKAGES
+    )
+
+
+@pytest.mark.parametrize("package", ["core", "rmcast", "election", "consensus"])
+def test_touching_simulation_package_invalidates_all_entries(
+    tmp_path, package
+):
     src = fake_tree(tmp_path)
     root = tmp_path / "cache"
     specs = tiny_specs()
@@ -144,15 +197,64 @@ def test_touching_core_invalidates_all_entries(tmp_path, monkeypatch):
     warm.run(specs)
     assert warm.last_stats == {"points": 2, "hits": 2, "ran": 0}
 
-    # change a file under core/ -> new fingerprint, forced re-run,
-    # and the stale generation directory is pruned from disk
-    (src / "core" / "mod.py").write_text("x = 'core-v2'\n")
+    # change a file under the package -> new fingerprint, forced re-run;
+    # the previous generation stays on disk (retained for bisects)
+    (src / package / "mod.py").write_text(f"x = '{package}-v2'\n")
     stale = ResultCache(root, src_root=src)
     invalidated = SweepExecutor(jobs=1, cache=stale)
     invalidated.run(specs)
     assert invalidated.last_stats == {"points": 2, "hits": 0, "ran": 2}
-    generations = [p.name for p in root.iterdir() if p.is_dir()]
-    assert generations == [stale.fingerprint]
+    generations = {p.name for p in root.iterdir() if p.is_dir()}
+    assert stale.fingerprint in generations
+    assert len(generations) == 2
+
+
+def test_bisect_between_two_fingerprints_keeps_both_warm(tmp_path):
+    src = fake_tree(tmp_path)
+    root = tmp_path / "cache"
+    specs = tiny_specs()
+    original = (src / "core" / "mod.py").read_text()
+    SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src)).run(specs)
+
+    (src / "core" / "mod.py").write_text("x = 'core-v2'\n")
+    SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src)).run(specs)
+
+    # hop back to the first checkout: its generation survived -> all hits
+    (src / "core" / "mod.py").write_text(original)
+    back = SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src))
+    back.run(specs)
+    assert back.last_stats == {"points": 2, "hits": 2, "ran": 0}
+
+
+def test_prune_keeps_newest_generations_up_to_budget(tmp_path):
+    src = fake_tree(tmp_path)
+    root = tmp_path / "cache"
+    root.mkdir()
+    for i in range(5):
+        d = root / f"gen{i}"
+        d.mkdir()
+        os.utime(d, (1000 + i, 1000 + i))
+    ResultCache(root, src_root=src, keep_generations=3)
+    kept = sorted(p.name for p in root.iterdir() if p.is_dir())
+    # budget 3 = one slot for the current generation + the 2 newest others
+    assert kept == ["gen3", "gen4"]
+
+
+def test_keep_generations_1_restores_prune_everything_behaviour(tmp_path):
+    src = fake_tree(tmp_path)
+    root = tmp_path / "cache"
+    specs = tiny_specs()
+    SweepExecutor(jobs=1, cache=ResultCache(root, src_root=src)).run(specs)
+    (src / "core" / "mod.py").write_text("x = 'core-v2'\n")
+    only = ResultCache(root, src_root=src, keep_generations=1)
+    assert [p.name for p in root.iterdir() if p.is_dir()] == []
+    SweepExecutor(jobs=1, cache=only).run(specs)
+    assert [p.name for p in root.iterdir() if p.is_dir()] == [only.fingerprint]
+
+
+def test_keep_generations_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path / "c", keep_generations=0)
 
 
 # ----------------------------------------------------------------------

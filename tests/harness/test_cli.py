@@ -79,6 +79,25 @@ def test_executor_flag_defaults_are_serial_with_cache():
     assert args.cache_dir == DEFAULT_CACHE_DIR
 
 
+def test_report_executor_aggregates_across_sweeps(capsys):
+    # figure3/figure4 run one sweep per --dests entry through the same
+    # executor; the report must cover all of them, not the final sweep
+    from repro.harness.cli import _report_executor
+    from repro.harness.parallel import SweepExecutor, expand_sweep
+    from repro.workload.scenarios import lan_scenario
+
+    specs = expand_sweep(
+        ("primcast",), lan_scenario(2, 3), 2, (1, 2),
+        seed=1, warmup_ms=20.0, measure_ms=40.0,
+    )
+    executor = SweepExecutor()
+    executor.run(specs[:1])
+    executor.run(specs[1:])
+    _report_executor(executor)
+    out = capsys.readouterr().out
+    assert "[2 points: 0 cached, 2 simulated, jobs=1]" in out
+
+
 def test_no_cache_builds_cacheless_executor(tmp_path):
     from repro.harness.cli import _executor
 

@@ -8,6 +8,8 @@ colocated leaders — the figure 3 scenario — at reduced scale so the
 pool round trip stays fast).
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.harness.experiments import sweep
@@ -19,6 +21,7 @@ from repro.harness.parallel import (
     cost_model_spec,
     expand_sweep,
     point_spec,
+    scenario_matches_registry,
 )
 from repro.harness.runner import RunResult, run_load_point
 from repro.sim.costs import default_cost_model, zero_cost_model
@@ -156,6 +159,72 @@ def test_point_spec_rejects_unknown_scenario():
         point_spec("primcast", custom, 2, 1)
     with pytest.raises(ValueError, match="unknown scenario"):
         build_scenario("bespoke", 2, 3)
+
+
+def test_point_spec_rejects_customized_registry_scenario():
+    # same registry name, different geometry: workers would silently
+    # rebuild the registry default, so the spec layer must refuse
+    custom = replace(lan_scenario(2, 3), cross_group_rtt_ms=5.0)
+    with pytest.raises(ValueError, match="does not match"):
+        point_spec("primcast", custom, 2, 1)
+
+
+def test_scenario_matches_registry_detects_customization():
+    assert scenario_matches_registry(lan_scenario())
+    assert scenario_matches_registry(wan_colocated_leaders(2, 3))
+    assert not scenario_matches_registry(replace(lan_scenario(), name="bespoke"))
+    assert not scenario_matches_registry(
+        replace(lan_scenario(), cross_group_rtt_ms=5.0)
+    )
+    # a customized epsilon still round-trips (captured in the spec)
+    assert scenario_matches_registry(replace(lan_scenario(), epsilon_ms=9.0))
+
+
+def test_sweep_runs_custom_scenario_inline_on_default_path():
+    """sweep() keeps accepting arbitrary Scenario objects serially."""
+    custom = replace(lan_scenario(2, 3), name="bespoke-lan")
+    want = [
+        run_load_point(
+            protocol, custom, 2, outstanding,
+            seed=1, warmup_ms=20.0, measure_ms=40.0, keep_samples=False,
+        )
+        for protocol in PROTOCOLS
+        for outstanding in LOADS
+    ]
+    executor = SweepExecutor()
+    got = sweep(
+        PROTOCOLS, custom, n_dest_groups=2, loads=LOADS,
+        warmup_ms=20.0, measure_ms=40.0, executor=executor,
+    )
+    assert_field_for_field(got, want)
+    # inline points still show up in the executor's accounting
+    assert executor.last_stats == {"points": 4, "hits": 0, "ran": 4}
+
+
+def test_sweep_rejects_custom_scenario_with_parallel_or_cache(tmp_path):
+    from repro.harness.cache import ResultCache
+
+    custom = replace(lan_scenario(2, 3), cross_group_rtt_ms=5.0)
+    with pytest.raises(ValueError, match="serial"):
+        sweep(
+            PROTOCOLS, custom, n_dest_groups=2, loads=(1,),
+            executor=SweepExecutor(jobs=2),
+        )
+    with pytest.raises(ValueError, match="serial"):
+        sweep(
+            PROTOCOLS, custom, n_dest_groups=2, loads=(1,),
+            executor=SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c")),
+        )
+
+
+def test_executor_total_stats_accumulate_across_runs():
+    scenario = small_fig3_scenario()
+    specs = specs_for(scenario)
+    executor = SweepExecutor()
+    executor.run(specs[:1])
+    executor.run(specs[1:3])
+    assert executor.last_stats == {"points": 2, "hits": 0, "ran": 2}
+    assert executor.total_stats == {"points": 3, "hits": 0, "ran": 3}
 
 
 def test_cost_model_spec_round_trip():
