@@ -39,6 +39,7 @@ DET_SCOPE: Tuple[str, ...] = (
     "repro.consensus",
     "repro.harness.parallel",
     "repro.harness.cache",
+    "repro.chaos",
 )
 
 #: Calls that emit messages or schedule events. A function whose body

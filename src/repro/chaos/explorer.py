@@ -1,0 +1,342 @@
+"""Seeded chaos campaigns: generate schedules, run them, aggregate.
+
+A *case* is one (chaos scenario, seed) pair: the seed derives the fault
+schedule (:func:`~repro.chaos.schedule.generate_schedule`), the client
+workload and every RNG stream of the simulation substrate, so a case is
+a pure function of its :class:`CaseSpec` — same spec, byte-identical
+:class:`CaseResult`. A *campaign* runs N cases and aggregates their
+violations into a :class:`CampaignReport` whose canonical JSON is
+byte-identical across runs and across ``jobs`` settings.
+
+Fan-out reuses the figure harness's
+:class:`~repro.harness.parallel.SweepExecutor` workers: ``CaseSpec``
+implements the same :class:`~repro.harness.parallel.WorkSpec` duck type
+as ``PointSpec`` (picklable, ``run()``/``canonical()``), so campaigns
+shard across cores with the exact merge-in-spec-order machinery the
+sweep executor already pins down.
+
+Safety checking is two-layered, violations captured as data:
+
+* during the run, :class:`~repro.verify.InvariantMonitor` rides along on
+  every PrimCast process; a structural violation aborts the case and is
+  recorded as an ``"invariant"`` violation;
+* after the horizon, :func:`~repro.verify.collect_violations` checks the
+  §2.2 properties over the correct processes' delivery logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.messages import MessageId, Multicast
+from ..harness.parallel import SweepExecutor, build_scenario
+from ..harness.runner import build_system
+from ..sim.failures import FailureInjector
+from ..sim.rng import child_rng
+from ..verify import (
+    PropertyViolation,
+    Violation,
+    attach_monitors,
+    collect_violations,
+)
+from .nemesis import Nemesis
+from .schedule import FaultSchedule, ScheduleShape, generate_schedule
+
+#: Mutations the explorer can inject for shrinker self-validation.
+#: ``"no-quorum-wait"`` flips the test-only
+#: ``PrimCastProcess._chaos_no_quorum_wait`` switch: deliver on final-ts
+#: decision without waiting for the quorum-clock guards (lines 28-30).
+MUTATIONS = ("", "no-quorum-wait")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A deployment + workload sized for fault exploration."""
+
+    name: str
+    #: Table 2 registry key (``repro.harness.parallel.SCENARIO_BUILDERS``)
+    base: str
+    n_groups: int
+    group_size: int
+    protocol: str = "primcast"
+    horizon_ms: float = 3000.0
+    n_messages: int = 40
+    send_window_ms: float = 45.0
+    omega_poll_ms: float = 10.0
+
+    @property
+    def hybrid_clock(self) -> bool:
+        return self.protocol.endswith("-hc")
+
+    def shape(self) -> ScheduleShape:
+        return ScheduleShape(
+            n_groups=self.n_groups,
+            group_size=self.group_size,
+            horizon_ms=self.horizon_ms,
+            hybrid_clock=self.hybrid_clock,
+        )
+
+
+#: Named chaos scenarios the CLI accepts. ``fig3-reduced`` is the
+#: CI smoke campaign's deployment: the Figure 3 WAN geometry (colocated
+#: leaders) at a reduced 3×3 shape so 8 seeds finish in seconds.
+CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
+    "lan-small": ChaosScenario(
+        name="lan-small", base="LAN", n_groups=2, group_size=3,
+        horizon_ms=2000.0, omega_poll_ms=4.0,
+    ),
+    "fig3-reduced": ChaosScenario(
+        name="fig3-reduced", base="WAN - colocated leaders",
+        n_groups=3, group_size=3, horizon_ms=6000.0, omega_poll_ms=25.0,
+    ),
+    "fig4-reduced": ChaosScenario(
+        name="fig4-reduced", base="WAN - distributed leaders",
+        n_groups=2, group_size=3, horizon_ms=5000.0, omega_poll_ms=25.0,
+    ),
+    "fig3-reduced-hc": ChaosScenario(
+        name="fig3-reduced-hc", base="WAN - colocated leaders",
+        n_groups=3, group_size=3, protocol="primcast-hc",
+        horizon_ms=6000.0, omega_poll_ms=25.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One chaos case, fully described and picklable (a ``WorkSpec``).
+
+    ``schedule_json`` is empty for generated schedules (derived from the
+    seed) or a canonical :meth:`FaultSchedule.to_json` string for
+    replay/shrink candidates.
+    """
+
+    scenario: str
+    seed: int
+    mutation: str = ""
+    allow_over_budget: bool = False
+    schedule_json: str = ""
+
+    def canonical(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def resolve_schedule(self) -> FaultSchedule:
+        if self.schedule_json:
+            return FaultSchedule.from_json(self.schedule_json)
+        scn = CHAOS_SCENARIOS[self.scenario]
+        return generate_schedule(
+            self.scenario,
+            self.seed,
+            scn.shape(),
+            allow_over_budget=self.allow_over_budget,
+        )
+
+    def with_schedule(self, schedule: FaultSchedule) -> "CaseSpec":
+        return CaseSpec(
+            scenario=self.scenario,
+            seed=self.seed,
+            mutation=self.mutation,
+            allow_over_budget=self.allow_over_budget,
+            schedule_json=schedule.to_json(),
+        )
+
+    def run(self) -> "CaseResult":
+        return run_case(self)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one chaos case (JSON-safe via :meth:`to_dict`)."""
+
+    spec: CaseSpec
+    schedule: FaultSchedule
+    violations: List[Violation]
+    aborted: bool
+    delivered: Dict[int, int]
+    crashed: Tuple[int, ...]
+    nemesis_applied: Dict[str, int]
+    events: int
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.canonical(),
+            "schedule": self.schedule.canonical(),
+            "violations": [v.to_dict() for v in self.violations],
+            "aborted": self.aborted,
+            "delivered": {str(pid): n for pid, n in sorted(self.delivered.items())},
+            "crashed": list(self.crashed),
+            "nemesis_applied": dict(sorted(self.nemesis_applied.items())),
+            "events": self.events,
+        }
+
+
+def run_case(spec: CaseSpec) -> CaseResult:
+    """Run one chaos case to its horizon and check every property."""
+    if spec.mutation not in MUTATIONS:
+        raise ValueError(f"unknown mutation {spec.mutation!r}; pick from {MUTATIONS}")
+    scn = CHAOS_SCENARIOS[spec.scenario]
+    schedule = spec.resolve_schedule()
+    scenario = build_scenario(scn.base, scn.n_groups, scn.group_size)
+    system = build_system(
+        scn.protocol,
+        scenario,
+        seed=spec.seed,
+        omega_poll_ms=scn.omega_poll_ms,
+    )
+    processes = system.processes
+    config = system.config
+    if spec.mutation == "no-quorum-wait":
+        for proc in processes.values():
+            proc._chaos_no_quorum_wait = True
+    attach_monitors(processes)
+
+    injector = FailureInjector(system.scheduler, processes)
+    nemesis = Nemesis(
+        schedule,
+        scheduler=system.scheduler,
+        network=system.network,
+        config=config,
+        processes=processes,
+        injector=injector,
+    )
+    nemesis.install()
+
+    logs: Dict[int, List[Tuple[MessageId, int, float]]] = {
+        pid: [] for pid in config.all_pids
+    }
+    multicasts: Dict[MessageId, Multicast] = {}
+
+    def on_deliver(proc: Any, multicast: Multicast, final_ts: int) -> None:
+        logs[proc.pid].append((multicast.mid, final_ts, system.scheduler.now))
+        multicasts.setdefault(multicast.mid, multicast)
+
+    for proc in processes.values():
+        proc.add_deliver_hook(on_deliver)
+
+    # Workload: bursts of multicasts from random senders inside the send
+    # window, all derived from the case seed (independent stream from
+    # the schedule's so shrinking events never perturbs the workload).
+    wl_rng = child_rng(spec.seed, f"chaos-workload:{spec.scenario}")
+    for i in range(scn.n_messages):
+        sender = wl_rng.choice(config.all_pids)
+        dest: FrozenSet[int] = frozenset(
+            wl_rng.sample(range(scn.n_groups), wl_rng.randint(1, scn.n_groups))
+        )
+        when = wl_rng.uniform(0.0, scn.send_window_ms)
+        system.scheduler.call_at(
+            when, processes[sender].a_multicast, dest, f"m{i}"
+        )
+
+    aborted = False
+    violations: List[Violation]
+    try:
+        system.scheduler.run(until=scn.horizon_ms)
+    except PropertyViolation as exc:
+        # An invariant monitor fired mid-run: the case is over, the
+        # violation is the result. Post-hoc checks are skipped — the
+        # run never quiesced, so they would not be sound.
+        aborted = True
+        violations = [Violation.from_exception(exc)]
+    else:
+        correct: Set[int] = {
+            pid for pid, proc in processes.items() if not proc.crashed
+        }
+        correct_logs = {pid: logs[pid] for pid in correct}
+        dest_pids_of = {
+            mid: set(config.dest_pids(m.dest)) for mid, m in multicasts.items()
+        }
+        violations = collect_violations(
+            correct_logs, set(multicasts), dest_pids_of, correct
+        )
+
+    return CaseResult(
+        spec=spec,
+        schedule=schedule,
+        violations=violations,
+        aborted=aborted,
+        delivered={pid: len(log) for pid, log in logs.items()},
+        crashed=tuple(sorted(injector.crashed_pids)),
+        nemesis_applied=dict(nemesis.applied),
+        events=system.scheduler.events_processed,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign (stable JSON via to_json)."""
+
+    scenario: str
+    seeds: List[int]
+    mutation: str
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def failing_cases(self) -> List[CaseResult]:
+        return [case for case in self.cases if case.failed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        failing = self.failing_cases
+        return {
+            "version": 1,
+            "scenario": self.scenario,
+            "mutation": self.mutation,
+            "seeds": list(self.seeds),
+            "summary": {
+                "cases": len(self.cases),
+                "violating_cases": len(failing),
+                "violations": sum(len(c.violations) for c in failing),
+                "violating_seeds": [c.spec.seed for c in failing],
+                "crashes_applied": sum(
+                    c.nemesis_applied.get("crashes", 0) for c in self.cases
+                ),
+                "events": sum(c.events for c in self.cases),
+            },
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def run_campaign(
+    scenario: str,
+    seeds: Sequence[int],
+    mutation: str = "",
+    allow_over_budget: bool = False,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> CampaignReport:
+    """Run one case per seed and aggregate the violations.
+
+    Results are merged in seed order regardless of ``jobs``, so the
+    report is byte-identical across parallelism settings.
+    """
+    if scenario not in CHAOS_SCENARIOS:
+        raise ValueError(
+            f"unknown chaos scenario {scenario!r}; pick from "
+            f"{sorted(CHAOS_SCENARIOS)}"
+        )
+    specs = [
+        CaseSpec(
+            scenario=scenario,
+            seed=seed,
+            mutation=mutation,
+            allow_over_budget=allow_over_budget,
+        )
+        for seed in seeds
+    ]
+    if executor is None:
+        executor = SweepExecutor(jobs=jobs)
+    results: List[CaseResult] = list(executor.run(specs))
+    return CampaignReport(
+        scenario=scenario,
+        seeds=list(seeds),
+        mutation=mutation,
+        cases=results,
+    )

@@ -57,6 +57,26 @@ PROMISED = "promised"
 
 DeliverHook = Callable[["PrimCastProcess", Multicast, int], None]
 
+#: Probe hooks observe protocol step boundaries: ``hook(process, event,
+#: data)`` where ``event`` is one of :data:`PROBE_EVENTS` and ``data``
+#: is the message id (or the new epoch for ``"epoch_change"``). Used by
+#: the chaos nemesis (:mod:`repro.chaos.nemesis`) to trigger faults at
+#: protocol-relevant moments instead of wall-clock times.
+ProbeHook = Callable[["PrimCastProcess", str, Any], None]
+
+#: Events fired through :meth:`PrimCastProcess.add_probe_hook`:
+#:
+#: * ``"start"`` — a ⟨start, m⟩ tuple was r-delivered (line 33), before
+#:   any local timestamp exists for m at this process;
+#: * ``"propose"`` — this process appended a local timestamp for m to T
+#:   and is about to ack it (lines 36-39);
+#: * ``"ack_quorum"`` — a group's local timestamp for m was decided at
+#:   this process (the group's ack quorum completed, lines 40-41);
+#: * ``"epoch_change"`` — this process started an epoch change
+#:   (Algorithm 3, lines 58-60); data is the new promised epoch;
+#: * ``"deliver"`` — m was a-delivered here (lines 54-56).
+PROBE_EVENTS = ("start", "propose", "ack_quorum", "epoch_change", "deliver")
+
 # T entries: (epoch the proposal was made in, the multicast, local ts).
 TEntry = Tuple[Epoch, Multicast, int]
 
@@ -74,6 +94,17 @@ class PrimCastProcess(RMcastProcess):
             ``hybrid_clock`` is set.
         hybrid_clock: enable the §6 proposal rule.
     """
+
+    #: Test-only mutation switch for shrinker self-validation
+    #: (tests/chaos): when flipped to True (as an instance attribute by
+    #: the chaos explorer's ``mutation`` option), delivery skips the
+    #: deliverable() guards of Algorithm 1 lines 28-30 and delivers a
+    #: message as soon as its final timestamp is decided — without
+    #: waiting for the quorum-clock to pass it. This deliberately breaks
+    #: ordering under concurrency; it exists so the explorer/shrinker
+    #: pipeline can prove it finds and minimizes such bugs. Never set in
+    #: production code paths.
+    _chaos_no_quorum_wait: bool = False
 
     def __init__(
         self,
@@ -142,6 +173,9 @@ class PrimCastProcess(RMcastProcess):
         self._min_heap: List[Tuple[int, MessageId]] = []
         self.deliver_hooks: List[DeliverHook] = []
         self.delivery_log: List[Tuple[MessageId, int, float]] = []
+        # Probe hooks stay None unless installed, so the hot paths pay
+        # one is-None check per step boundary and nothing more.
+        self.probe_hooks: Optional[List[ProbeHook]] = None
 
         # Cached quorum-clock() value; invalidated whenever the clock
         # observations it derives from change (see quorum_clock()).
@@ -196,6 +230,19 @@ class PrimCastProcess(RMcastProcess):
     def add_deliver_hook(self, hook: DeliverHook) -> None:
         """Register ``hook(process, multicast, final_ts)`` on a-deliver."""
         self.deliver_hooks.append(hook)
+
+    def add_probe_hook(self, hook: ProbeHook) -> None:
+        """Register ``hook(process, event, data)`` at every protocol step
+        boundary (see :data:`PROBE_EVENTS`)."""
+        if self.probe_hooks is None:
+            self.probe_hooks = []
+        self.probe_hooks.append(hook)
+
+    def _probe(self, event: str, data: Any) -> None:
+        hooks = self.probe_hooks
+        if hooks is not None:
+            for hook in hooks:
+                hook(self, event, data)
 
     def compact_delivered(self) -> int:
         """Release per-message tracking state of delivered messages.
@@ -269,6 +316,8 @@ class PrimCastProcess(RMcastProcess):
         multicast = start.multicast
         if multicast.mid not in self.started:
             self.started[multicast.mid] = multicast
+            if self.probe_hooks is not None:
+                self._probe("start", multicast.mid)
             if self.role == PRIMARY and self._proposable(multicast):
                 self._propose(multicast)
 
@@ -289,6 +338,8 @@ class PrimCastProcess(RMcastProcess):
         else:
             self.clock += 1
         self._t_append(self.e_cur, multicast, self.clock)
+        if self.probe_hooks is not None:
+            self._probe("propose", multicast.mid)
         self._send_ack(multicast, self.e_cur, self.clock)
 
     def _t_append(self, epoch: Epoch, multicast: Multicast, ts: int) -> None:
@@ -368,6 +419,8 @@ class PrimCastProcess(RMcastProcess):
             # Cache (and enqueue for delivery) the final timestamp as
             # soon as the last local timestamp is decided.
             self.final_ts(mid)
+            if self.probe_hooks is not None:
+                self._probe("ack_quorum", mid)
         if decided_now or changed:
             self._try_deliver()
 
@@ -544,6 +597,12 @@ class PrimCastProcess(RMcastProcess):
             if best_mid not in pending:
                 heappop(finals)
                 continue
+            if self._chaos_no_quorum_wait:
+                # Test-only mutation (see the class attribute): deliver
+                # on final-ts decision alone, skipping lines 28-30.
+                heappop(finals)
+                self._deliver(best_mid, best_final)
+                continue
             # Lines 28-29: no new proposal in E_cur or in any later
             # epoch may be smaller than final-ts(m).
             if best_final > leader_clock or best_final > qclock:
@@ -562,6 +621,8 @@ class PrimCastProcess(RMcastProcess):
         self.pending.discard(mid)
         multicast = self.started[mid]
         self.delivery_log.append((mid, final, self.scheduler.now))
+        if self.probe_hooks is not None:
+            self._probe("deliver", mid)
         for hook in self.deliver_hooks:
             hook(self, multicast, final)
 
@@ -581,6 +642,8 @@ class PrimCastProcess(RMcastProcess):
         """Lines 58-60."""
         self.role = CANDIDATE
         self.e_prom = self.e_prom.next_for(self.pid)
+        if self.probe_hooks is not None:
+            self._probe("epoch_change", self.e_prom)
         self.r_multicast(NewEpoch(self.e_prom), self.group_members)
 
     def _on_new_epoch(self, origin: int, msg: NewEpoch) -> None:

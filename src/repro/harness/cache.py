@@ -48,11 +48,12 @@ from .runner import RunResult
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Packages (under ``src/repro``) whose source feeds the fingerprint:
-#: everything a ``run_load_point`` outcome can depend on. This must
-#: cover the full import closure of the simulated event path — the
-#: runner pulls in ``election`` (Ω oracles), ``core`` pulls in
-#: ``rmcast`` (FIFO substrate) and the baselines pull in ``consensus``
-#: — pinned by ``tests/harness/test_cache.py``.
+#: everything a ``run_load_point`` or chaos-case outcome can depend on.
+#: This must cover the full import closure of the simulated event path —
+#: the runner pulls in ``election`` (Ω oracles), ``core`` pulls in
+#: ``rmcast`` (FIFO substrate), the baselines pull in ``consensus`` and
+#: the chaos explorer pulls in ``verify`` (property checkers) — pinned
+#: by ``tests/harness/test_cache.py``.
 FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "core",
     "sim",
@@ -62,6 +63,8 @@ FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "consensus",
     "workload",
     "harness",
+    "verify",
+    "chaos",
 )
 
 #: Where ``src/repro`` lives, resolved from this file.

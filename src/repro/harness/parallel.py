@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..sim.costs import CostModel
 from ..workload.scenarios import (
@@ -38,6 +38,24 @@ from ..workload.scenarios import (
     wan_distributed_leaders,
 )
 from .runner import RunResult, run_load_point
+
+class WorkSpec(Protocol):
+    """What the :class:`SweepExecutor` needs from a unit of work.
+
+    :class:`PointSpec` is the canonical implementation; the chaos
+    explorer's ``CaseSpec`` (:mod:`repro.chaos.explorer`) is another.
+    Implementations must be picklable (workers receive them by value)
+    and deterministic: ``run()`` must be a pure function of the spec.
+    """
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe dict with a stable field set (cache-key input)."""
+        ...
+
+    def run(self) -> Any:
+        """Execute the unit of work and return its result."""
+        ...
+
 
 #: Canonical scenario name -> builder. A :class:`PointSpec` stores the
 #: scenario by (name, n_groups, group_size) so it stays picklable and
@@ -245,7 +263,7 @@ def expand_sweep(
     ]
 
 
-def _run_spec(spec: PointSpec) -> RunResult:
+def _run_spec(spec: WorkSpec) -> Any:
     """Pool worker entry point (module-level so it pickles by reference)."""
     return spec.run()
 
@@ -260,7 +278,7 @@ def default_mp_context() -> str:
 
 
 class SweepExecutor:
-    """Runs a flat list of :class:`PointSpec` and merges results in order.
+    """Runs a flat list of :class:`WorkSpec` and merges results in order.
 
     Args:
         jobs: worker processes. 1 (the default) runs inline in this
@@ -305,9 +323,9 @@ class SweepExecutor:
         pool and the cache but still belong in the run's totals)."""
         self._record(n, 0, n)
 
-    def run(self, specs: Sequence[PointSpec]) -> List[RunResult]:
+    def run(self, specs: Sequence[WorkSpec]) -> List[Any]:
         """Execute every spec; results come back in spec order."""
-        results: List[Optional[RunResult]] = [None] * len(specs)
+        results: List[Optional[Any]] = [None] * len(specs)
         misses: List[int] = []
         for i, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache is not None else None
@@ -324,7 +342,7 @@ class SweepExecutor:
         self._record(len(specs), len(specs) - len(misses), len(misses))
         return [r for r in results if r is not None]
 
-    def _execute(self, specs: List[PointSpec]) -> List[RunResult]:
+    def _execute(self, specs: List[WorkSpec]) -> List[Any]:
         if self.jobs == 1 or len(specs) == 1:
             return [_run_spec(spec) for spec in specs]
         context = multiprocessing.get_context(self.mp_context or default_mp_context())

@@ -4,22 +4,26 @@ from .genuineness import GenuinenessTracer
 from .invariants import InvariantMonitor, attach_monitors
 from .properties import (
     PropertyViolation,
+    Violation,
     check_acyclic_order,
     check_all,
     check_integrity,
     check_prefix_order,
     check_timestamp_order,
     check_uniform_agreement,
+    collect_violations,
 )
 
 __all__ = [
     "PropertyViolation",
+    "Violation",
     "check_integrity",
     "check_uniform_agreement",
     "check_acyclic_order",
     "check_prefix_order",
     "check_timestamp_order",
     "check_all",
+    "collect_violations",
     "GenuinenessTracer",
     "InvariantMonitor",
     "attach_monitors",

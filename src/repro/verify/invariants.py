@@ -76,7 +76,8 @@ class InvariantMonitor:
     def _fail(self, message: str) -> None:
         raise PropertyViolation(
             f"invariant violated at pid {self.proc.pid} "
-            f"(t={self.proc.scheduler.now:.3f}): {message}"
+            f"(t={self.proc.scheduler.now:.3f}): {message}",
+            prop="invariant",
         )
 
     def _on_deliver(

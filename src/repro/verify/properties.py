@@ -24,7 +24,8 @@ Each checker raises :class:`PropertyViolation` with a counterexample.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.messages import MessageId
 
@@ -33,7 +34,48 @@ DeliveryLog = List[Tuple[MessageId, int, float]]
 
 
 class PropertyViolation(AssertionError):
-    """An atomic multicast property does not hold; message explains."""
+    """An atomic multicast property does not hold; message explains.
+
+    Besides the human-readable message, a violation carries structured
+    fields so tooling (the chaos explorer, campaign reports) can
+    aggregate violations as data instead of parsing strings:
+
+    * ``prop`` — short property name (``"integrity"``,
+      ``"uniform-agreement"``, ``"acyclic-order"``, ``"prefix-order"``,
+      ``"timestamp-order"``, or ``"invariant"`` for runtime monitors);
+    * ``mids`` — the offending message id(s), possibly empty.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        prop: str = "",
+        mids: Sequence[MessageId] = (),
+    ) -> None:
+        super().__init__(message)
+        self.prop = prop
+        self.mids: Tuple[MessageId, ...] = tuple(mids)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation as a structured record."""
+
+    prop: str
+    message: str
+    mids: Tuple[MessageId, ...] = field(default=())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (message ids become ``[pid, seq]`` lists)."""
+        return {
+            "prop": self.prop,
+            "message": self.message,
+            "mids": [list(mid) for mid in self.mids],
+        }
+
+    @classmethod
+    def from_exception(cls, exc: PropertyViolation) -> "Violation":
+        return cls(prop=exc.prop or "unknown", message=str(exc), mids=exc.mids)
 
 
 def check_integrity(
@@ -44,11 +86,17 @@ def check_integrity(
         seen: Set[MessageId] = set()
         for mid, _, _ in log:
             if mid in seen:
-                raise PropertyViolation(f"process {pid} delivered {mid} twice")
+                raise PropertyViolation(
+                    f"process {pid} delivered {mid} twice",
+                    prop="integrity",
+                    mids=(mid,),
+                )
             seen.add(mid)
             if mid not in multicast_mids:
                 raise PropertyViolation(
-                    f"process {pid} delivered {mid} which was never a-multicast"
+                    f"process {pid} delivered {mid} which was never a-multicast",
+                    prop="integrity",
+                    mids=(mid,),
                 )
 
 
@@ -73,7 +121,9 @@ def check_uniform_agreement(
             if pid in correct_pids and mid not in delivered_by.get(pid, set()):
                 raise PropertyViolation(
                     f"{mid} was delivered somewhere but not at correct "
-                    f"destination {pid}"
+                    f"destination {pid}",
+                    prop="uniform-agreement",
+                    mids=(mid,),
                 )
 
 
@@ -107,7 +157,9 @@ def check_acyclic_order(logs: Dict[int, DeliveryLog]) -> None:
             for nxt in it:
                 if color[nxt] == GRAY:
                     raise PropertyViolation(
-                        f"delivery order cycle involving {node} -> {nxt}"
+                        f"delivery order cycle involving {node} -> {nxt}",
+                        prop="acyclic-order",
+                        mids=(node, nxt),
                     )
                 if color[nxt] == WHITE:
                     stack.append((nxt, None))
@@ -146,7 +198,9 @@ def check_prefix_order(
                     if not (p_first or q_first):
                         raise PropertyViolation(
                             f"prefix order violated: {p} delivered {m}, "
-                            f"{q} delivered {m2}, neither saw the other first"
+                            f"{q} delivered {m2}, neither saw the other first",
+                            prop="prefix-order",
+                            mids=(m, m2),
                         )
 
 
@@ -159,13 +213,17 @@ def check_timestamp_order(logs: Dict[int, DeliveryLog]) -> None:
             key = (final, mid)
             if prev is not None and key < prev:
                 raise PropertyViolation(
-                    f"process {pid} delivered {key} after {prev}"
+                    f"process {pid} delivered {key} after {prev}",
+                    prop="timestamp-order",
+                    mids=(prev[1], mid),
                 )
             prev = key
             if mid in finals and finals[mid][0] != final:
                 raise PropertyViolation(
                     f"{mid} has final ts {final} at {pid} but "
-                    f"{finals[mid][0]} at {finals[mid][1]}"
+                    f"{finals[mid][0]} at {finals[mid][1]}",
+                    prop="timestamp-order",
+                    mids=(mid,),
                 )
             finals.setdefault(mid, (final, pid))
 
@@ -184,3 +242,36 @@ def check_all(
     check_timestamp_order(logs)
     if prefix:
         check_prefix_order(logs, dest_pids_of)
+
+
+def collect_violations(
+    logs: Dict[int, DeliveryLog],
+    multicast_mids: Set[MessageId],
+    dest_pids_of: Dict[MessageId, Set[int]],
+    correct_pids: Set[int],
+    prefix: bool = True,
+) -> List[Violation]:
+    """Non-raising twin of :func:`check_all`.
+
+    Runs every checker and returns the violations found as structured
+    :class:`Violation` records, one per failing property (each checker
+    stops at its first counterexample). An empty list means exactly that
+    :func:`check_all` with the same arguments would not raise — the
+    chaos explorer relies on this to aggregate campaign results instead
+    of dying at the first violating schedule.
+    """
+    checkers: List[Callable[[], None]] = [
+        lambda: check_integrity(logs, multicast_mids),
+        lambda: check_uniform_agreement(logs, dest_pids_of, correct_pids),
+        lambda: check_acyclic_order(logs),
+        lambda: check_timestamp_order(logs),
+    ]
+    if prefix:
+        checkers.append(lambda: check_prefix_order(logs, dest_pids_of))
+    violations: List[Violation] = []
+    for checker in checkers:
+        try:
+            checker()
+        except PropertyViolation as exc:
+            violations.append(Violation.from_exception(exc))
+    return violations

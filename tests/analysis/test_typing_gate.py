@@ -17,7 +17,12 @@ pytest.importorskip("mypy")
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-MYPY_SCOPE = ["src/repro/core", "src/repro/verify", "src/repro/analysis"]
+MYPY_SCOPE = [
+    "src/repro/core",
+    "src/repro/verify",
+    "src/repro/analysis",
+    "src/repro/chaos",
+]
 
 
 def test_scoped_strict_mypy_passes():

@@ -1,0 +1,97 @@
+"""CLI tests: exit codes, JSON shapes, replay round trip."""
+
+import json
+
+from repro.chaos.cli import main
+
+SCN = "lan-small"
+
+
+class TestRun:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(["run", "--scenario", SCN, "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "violations=0" in out
+
+    def test_json_report_shape(self, capsys):
+        code = main(["run", "--scenario", SCN, "--seeds", "2", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["version"] == 1
+        assert report["scenario"] == SCN
+        assert report["summary"]["cases"] == 2
+        assert len(report["cases"]) == 2
+
+    def test_out_file_matches_stdout_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        main(["run", "--scenario", SCN, "--seeds", "2", "--json", "--out", str(out)])
+        stdout = capsys.readouterr().out
+        assert out.read_text(encoding="utf-8") == stdout
+
+    def test_mutation_campaign_exits_one(self, capsys):
+        code = main(
+            ["run", "--scenario", SCN, "--seeds", "3", "--mutation", "no-quorum-wait"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "violations=0" not in out
+
+
+class TestShrinkAndReplay:
+    def _violating_seed(self):
+        from repro.chaos.explorer import CaseSpec, run_case
+
+        for seed in range(6):
+            spec = CaseSpec(scenario=SCN, seed=seed, mutation="no-quorum-wait")
+            if run_case(spec).violations:
+                return seed
+        raise AssertionError("mutation not detected within 6 seeds")
+
+    def test_shrink_then_replay_round_trip(self, tmp_path, capsys):
+        seed = self._violating_seed()
+        repro_file = tmp_path / "repro.json"
+        code = main(
+            [
+                "shrink",
+                "--scenario", SCN,
+                "--seed", str(seed),
+                "--mutation", "no-quorum-wait",
+                "--max-runs", "120",
+                "--out", str(repro_file),
+            ]
+        )
+        assert code == 0
+        assert repro_file.exists()
+        capsys.readouterr()
+
+        code = main(["replay", str(repro_file), "--json"])
+        replay = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert replay["reproduced"] is True
+        assert replay["violations"] == replay["expect"]
+
+    def test_shrink_clean_case_exits_one(self, capsys):
+        code = main(["shrink", "--scenario", SCN, "--seed", "0"])
+        assert code == 1
+        assert "nothing to shrink" in capsys.readouterr().out
+
+    def test_replay_missing_file_exits_two(self, tmp_path, capsys):
+        code = main(["replay", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_replay_bad_version_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        assert main(["replay", str(bad)]) == 2
+
+
+class TestUsage:
+    def test_unknown_command_exits_two(self, capsys):
+        assert main(["explode"]) == 2
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["run", "--scenario", "atlantis"]) == 2
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0

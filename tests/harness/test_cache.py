@@ -303,3 +303,17 @@ def test_clear_removes_everything(tmp_path):
     assert not (tmp_path / "c").exists()
     fresh = ResultCache(tmp_path / "c")
     assert fresh.get(specs[0]) is None
+
+
+def test_fingerprint_covers_chaos_import_closure():
+    # chaos cases run the same simulated event path plus the verify
+    # checkers; a caching executor keyed on CaseSpec.canonical() must
+    # see edits anywhere in that closure, or it would replay stale
+    # campaign results.
+    reached = _repro_import_closure("chaos/explorer.py")
+    missing = reached - set(FINGERPRINT_PACKAGES)
+    assert not missing, (
+        f"packages reachable from the chaos explorer are not "
+        f"fingerprinted: {sorted(missing)}"
+    )
+    assert {"chaos", "verify"} <= set(FINGERPRINT_PACKAGES)

@@ -1,0 +1,164 @@
+"""Leader failover at every protocol step boundary.
+
+The nemesis probe hooks let a schedule crash the timestamping group's
+leader *at* a protocol-relevant moment — the instant it starts, appends
+its first timestamp proposal, observes the first ack quorum, delivers,
+or begins an epoch change — instead of at an arbitrary wall-clock time.
+For each boundary we assert the failover edge is clean: messages
+submitted before the crash and messages submitted well after it are all
+delivered by every correct destination, and the full §2.2 property
+suite holds over the correct processes' logs.
+"""
+
+import pytest
+
+from repro.chaos.nemesis import Nemesis
+from repro.chaos.schedule import FaultEvent, FaultSchedule, Trigger
+from repro.core import PrimCastProcess, uniform_groups
+from repro.election import make_oracles
+from repro.sim import (
+    ConstantLatency,
+    FailureInjector,
+    Network,
+    Scheduler,
+    child_rng,
+)
+from repro.verify import attach_monitors
+from repro.verify.properties import check_all
+
+#: Step boundaries where the timestamping group's leader gets killed.
+BOUNDARIES = ("start", "propose", "ack_quorum", "deliver")
+
+
+def run_failover(seed, events, group_size=3, horizon=3000.0):
+    """Run a 2-group deployment under the given fault events.
+
+    Returns (correct pids, logs, multicasts, nemesis) after asserting
+    the property suite over the correct processes.
+    """
+    config = uniform_groups(2, group_size)
+    sched = Scheduler()
+    net = Network(sched, ConstantLatency(1.0), child_rng(seed, "failover"))
+    procs = {
+        pid: PrimCastProcess(pid, config, sched, net) for pid in config.all_pids
+    }
+    attach_monitors(procs)
+    oracles = make_oracles(config.groups, procs, sched, poll_interval_ms=4.0)
+    for pid, proc in procs.items():
+        proc.omega = oracles[config.group_of[pid]]
+        proc.omega.subscribe(proc._on_omega_output)
+    injector = FailureInjector(sched, procs)
+    nemesis = Nemesis(
+        FaultSchedule("failover", seed, tuple(events)),
+        scheduler=sched,
+        network=net,
+        config=config,
+        processes=procs,
+        injector=injector,
+    )
+    nemesis.install()
+
+    logs = {pid: [] for pid in procs}
+    multicasts = {}
+    for proc in procs.values():
+        proc.add_deliver_hook(
+            lambda p, m, ts: (
+                logs[p.pid].append((m.mid, ts, sched.now)),
+                multicasts.setdefault(m.mid, m),
+            )
+        )
+
+    # Senders that are never crash targets: a group-0 follower and a
+    # group-1 member. Every message is timestamped by group 0, so the
+    # leader crash sits on each message's critical path.
+    dest = frozenset({0, 1})
+    senders = (config.members(0)[-1], config.members(1)[0])
+    for i in range(6):
+        sched.call_at(
+            1.0 + i * 2.0, procs[senders[i % 2]].a_multicast, dest, f"early{i}"
+        )
+    for i in range(6):
+        sched.call_at(
+            800.0 + i * 2.0, procs[senders[i % 2]].a_multicast, dest, f"late{i}"
+        )
+    sched.run(until=horizon)
+
+    correct = {pid for pid, proc in procs.items() if not proc.crashed}
+    correct_logs = {pid: logs[pid] for pid in correct}
+    dest_pids_of = {
+        mid: set(config.dest_pids(m.dest)) for mid, m in multicasts.items()
+    }
+    check_all(correct_logs, set(multicasts), dest_pids_of, correct)
+    return correct, logs, multicasts, nemesis
+
+
+def assert_all_delivered(correct, logs, multicasts, prefix, expected):
+    """Every correct process delivered all `prefix*` messages."""
+    mids = {m.mid for m in multicasts.values() if str(m.payload).startswith(prefix)}
+    assert len(mids) == expected, f"{prefix}* messages lost: {len(mids)}/{expected}"
+    for pid in correct:
+        seen = {mid for mid, _, _ in logs[pid]}
+        assert mids <= seen, f"pid {pid} missing {prefix}* deliveries"
+
+
+class TestLeaderCrashAtStepBoundaries:
+    @pytest.mark.parametrize("boundary", BOUNDARIES)
+    def test_delivery_resumes_after_leader_crash(self, boundary):
+        events = [
+            FaultEvent(
+                kind="crash",
+                trigger=Trigger(kind="on", event=boundary, nth=1, pid=0),
+                target="leader:0",
+            )
+        ]
+        correct, logs, multicasts, nemesis = run_failover(1, events)
+        assert nemesis.applied["crashes"] == 1
+        assert 0 not in correct, "the group-0 leader must actually crash"
+        assert_all_delivered(correct, logs, multicasts, "early", 6)
+        assert_all_delivered(correct, logs, multicasts, "late", 6)
+
+    @pytest.mark.parametrize("boundary", ("propose", "ack_quorum"))
+    def test_deferred_crash_at_boundary(self, boundary):
+        # offset > 0: the leader survives the boundary itself and dies
+        # shortly after, with its step's messages already in flight.
+        events = [
+            FaultEvent(
+                kind="crash",
+                trigger=Trigger(
+                    kind="on", event=boundary, nth=1, pid=0, offset_ms=0.5
+                ),
+                target="leader:0",
+            )
+        ]
+        correct, logs, multicasts, nemesis = run_failover(2, events)
+        assert nemesis.applied["crashes"] == 1
+        assert_all_delivered(correct, logs, multicasts, "early", 6)
+        assert_all_delivered(correct, logs, multicasts, "late", 6)
+
+
+class TestLeaderCrashDuringEpochChange:
+    def test_new_leader_crash_at_epoch_change_boundary(self):
+        # Five-member group 0 (budget 2): the initial leader dies at
+        # t=5ms, then whoever drives the resulting epoch change dies at
+        # its start — two chained failovers on the timestamping group.
+        events = [
+            FaultEvent(
+                kind="crash",
+                trigger=Trigger(kind="at", time_ms=5.0),
+                target="leader:0",
+            ),
+            FaultEvent(
+                kind="crash",
+                trigger=Trigger(kind="on", event="epoch_change", nth=1),
+                target="leader:0",
+            ),
+        ]
+        correct, logs, multicasts, nemesis = run_failover(
+            3, events, group_size=5, horizon=4000.0
+        )
+        assert nemesis.applied["crashes"] == 2
+        crashed = set(range(10)) - correct
+        assert len(crashed) == 2
+        assert crashed <= set(range(5)), "both crashes hit group 0"
+        assert_all_delivered(correct, logs, multicasts, "early", 6)
+        assert_all_delivered(correct, logs, multicasts, "late", 6)

@@ -156,3 +156,73 @@ class TestRng:
         r1 = child_rng(7, "lat")
         r2 = child_rng(7, "lat")
         assert [r1.random() for _ in range(10)] == [r2.random() for _ in range(10)]
+
+
+class TestBudgetGuard:
+    """crash_within_budget / within_budget keep groups quorum-correct."""
+
+    def _system(self):
+        sched = Scheduler()
+        net = Network(sched, ConstantLatency(1.0), child_rng(1, "x"))
+        procs = {i: Dummy(i, sched, net) for i in range(5)}
+        return sched, net, procs
+
+    def test_arms_within_budget(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        group = [0, 1, 2, 3, 4]  # budget = 2
+        assert inj.crash_within_budget(0, 1.0, group)
+        assert inj.crash_within_budget(1, 2.0, group)
+        sched.run(until=3.0)
+        assert inj.crashed_pids == [0, 1]
+
+    def test_refuses_beyond_budget(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        group = [0, 1, 2, 3, 4]
+        assert inj.crash_within_budget(0, 1.0, group)
+        assert inj.crash_within_budget(1, 2.0, group)
+        assert not inj.crash_within_budget(2, 3.0, group)
+        sched.run(until=5.0)
+        assert inj.crashed_pids == [0, 1]
+        assert not procs[2].crashed
+
+    def test_armed_but_unfired_crashes_count(self):
+        # The guard must count *armed* crashes, not only executed ones,
+        # or arming several future crashes at once would overshoot.
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        group = [0, 1, 2]  # budget = 1
+        assert inj.crash_within_budget(1, 100.0, group)
+        assert not inj.within_budget(2, group)
+        assert not inj.crash_within_budget(2, 100.0, group)
+
+    def test_rearming_same_pid_is_free(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        group = [0, 1, 2]  # budget = 1
+        assert inj.crash_within_budget(1, 1.0, group)
+        assert inj.within_budget(1, group)
+        assert inj.crash_within_budget(1, 2.0, group)
+        sched.run(until=3.0)
+        assert inj.crashed_pids == [1]
+
+    def test_crash_now_is_immediate(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        inj.crash_now(3)
+        assert procs[3].crashed
+        assert inj.crashed_pids == [3]
+
+    def test_crash_now_unknown_pid_raises(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        with pytest.raises(KeyError):
+            inj.crash_now(99)
+
+    def test_targeted_pids_sorted_union(self):
+        sched, net, procs = self._system()
+        inj = FailureInjector(sched, procs)
+        inj.crash_now(4)
+        inj.crash_at(1, 50.0)
+        assert inj.targeted_pids() == (1, 4)

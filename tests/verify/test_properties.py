@@ -5,10 +5,12 @@ import pytest
 from repro.verify.properties import (
     PropertyViolation,
     check_acyclic_order,
+    check_all,
     check_integrity,
     check_prefix_order,
     check_timestamp_order,
     check_uniform_agreement,
+    collect_violations,
 )
 
 A, B, C = ("a", 1), ("b", 1), ("c", 1)
@@ -112,3 +114,65 @@ class TestTimestampOrder:
         logs = {0: log((A, 1)), 1: log((A, 2))}
         with pytest.raises(PropertyViolation, match="final"):
             check_timestamp_order(logs)
+
+
+class TestCollectViolations:
+    """collect_violations must agree with check_all exactly."""
+
+    def _args(self, logs, mids, dests, correct):
+        return logs, mids, dests, correct
+
+    def test_clean_logs_collect_nothing(self):
+        logs = {0: log((A, 1), (B, 2)), 1: log((A, 1), (B, 2))}
+        args = (logs, {A, B}, {A: {0, 1}, B: {0, 1}}, {0, 1})
+        check_all(*args)  # does not raise
+        assert collect_violations(*args) == []
+
+    def test_first_violation_matches_check_all(self):
+        # Duplicate delivery: integrity is the first checker in both.
+        logs = {0: log((A, 1), (A, 1))}
+        args = (logs, {A}, {A: {0}}, {0})
+        with pytest.raises(PropertyViolation) as excinfo:
+            check_all(*args)
+        violations = collect_violations(*args)
+        assert violations
+        assert violations[0].prop == excinfo.value.prop
+        assert violations[0].message == str(excinfo.value)
+        assert violations[0].mids == tuple(excinfo.value.mids)
+
+    def test_collects_multiple_properties(self):
+        # Cyclic order also breaks timestamp consistency across logs.
+        logs = {0: log((A, 1), (B, 2)), 1: log((B, 1), (A, 2))}
+        args = (logs, {A, B}, {A: {0, 1}, B: {0, 1}}, {0, 1})
+        violations = collect_violations(*args)
+        props = [v.prop for v in violations]
+        assert "acyclic-order" in props
+        assert len(props) == len(set(props)), "one violation per property"
+
+    def test_structured_fields_are_populated(self):
+        logs = {0: log((A, 1), (A, 1))}
+        violations = collect_violations(logs, {A}, {A: {0}}, {0})
+        v = violations[0]
+        assert v.prop == "integrity"
+        assert A in v.mids
+        d = v.to_dict()
+        assert d["prop"] == "integrity"
+        assert d["mids"] == [list(mid) for mid in v.mids]
+
+    def test_prefix_flag_respected(self):
+        logs = {0: log((A, 1)), 1: log((B, 1))}
+        dests = {A: {0, 1}, B: {0, 1}}
+        # Uniform agreement fails either way; prefix order only when on.
+        with_prefix = {v.prop for v in collect_violations(logs, {A, B}, dests, {0, 1})}
+        without = {
+            v.prop
+            for v in collect_violations(logs, {A, B}, dests, {0, 1}, prefix=False)
+        }
+        assert "prefix-order" in with_prefix
+        assert "prefix-order" not in without
+
+    def test_empty_means_check_all_passes(self):
+        logs = {0: log((A, 1)), 1: log((A, 1))}
+        args = (logs, {A}, {A: {0, 1}}, {0, 1})
+        assert collect_violations(*args) == []
+        check_all(*args)
