@@ -24,6 +24,7 @@ from repro.harness.perf import (
     SEED_BASELINE,
     batching_delta,
     measure_load_point,
+    measure_steady_state,
     measure_sweep_scaling,
     speedup_vs_seed,
     update_bench,
@@ -31,6 +32,8 @@ from repro.harness.perf import (
 
 
 def test_substrate_speedup_vs_seed():
+    # compaction off: the state-GC daemon adds timer events of its own,
+    # and this test pins the *seed* event schedule exactly.
     perf = measure_load_point(
         protocol="primcast",
         n_dest_groups=2,
@@ -40,6 +43,7 @@ def test_substrate_speedup_vs_seed():
         batching_ms=0.0,
         repeats=3,
         point=SEED_BASELINE["point"],
+        compaction_interval_ms=0.0,
     )
     speedup = speedup_vs_seed(perf)
     payload = asdict(perf)
@@ -107,3 +111,37 @@ def test_parallel_sweep_and_result_cache_scaling():
     assert scaling["warm_ran"] == 0
     assert scaling["warm_hits"] == scaling["points"]
     assert scaling["warm_cache_s"] < scaling["serial_s"]
+
+
+def test_steady_state_memory_bound():
+    """Sustained LAN run, state GC on vs off, recorded as the
+    ``steady_state`` section of BENCH_perf.json.
+
+    Hard gates are the tentpole acceptance criteria: GC-on peak
+    tracemalloc bytes past warmup under half of GC-off, and delivered
+    throughput unchanged (the simulated schedule is identical, so the
+    ratio is exactly 1.0 — asserted with a little float slack).
+    Events/sec drift within a run is recorded but soft: wall-clock on
+    shared runners is noisy.
+    """
+    steady = measure_steady_state()
+    update_bench("steady_state", steady)
+    on, off = steady["gc_on"], steady["gc_off"]
+    print(
+        f"\n{steady['point']}: peak {on['peak_bytes'] / 1e6:.1f}MB (GC on, "
+        f"{on['compaction_runs']} sweeps, {on['compaction_freed']} freed) vs "
+        f"{off['peak_bytes'] / 1e6:.1f}MB (GC off) = {steady['peak_ratio']:.2f}x; "
+        f"throughput {on['throughput']:.0f} vs {off['throughput']:.0f} msg/s, "
+        f"drift {on['events_per_sec_drift']:.2f} vs {off['events_per_sec_drift']:.2f}"
+    )
+    # The tentpole memory bar: bounded steady state means well under
+    # half the unbounded run's peak on a sustained workload.
+    assert steady["peak_ratio"] < 0.5, (
+        f"state GC memory bound regressed: GC-on peak is "
+        f"{steady['peak_ratio']:.2f}x of GC-off (bar: < 0.5)"
+    )
+    # Identical schedules deliver identical messages: GC must not cost
+    # throughput (ratio exactly 1.0 up to float formatting).
+    assert steady["throughput_ratio"] > 0.999
+    assert on["delivered"] == off["delivered"]
+    assert on["compaction_runs"] > 0 and on["compaction_freed"] > 0

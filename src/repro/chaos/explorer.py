@@ -38,6 +38,7 @@ from ..verify import (
     PropertyViolation,
     Violation,
     attach_monitors,
+    check_truncation_safety,
     collect_violations,
 )
 from .nemesis import Nemesis
@@ -98,6 +99,15 @@ CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
         name="fig3-reduced-hc", base="WAN - colocated leaders",
         n_groups=3, group_size=3, protocol="primcast-hc",
         horizon_ms=6000.0, omega_poll_ms=25.0,
+    ),
+    # Long-horizon LAN campaign: enough traffic past the fault window
+    # that the state-GC watermark advances and truncation actually
+    # happens under crashes/partitions/epoch changes — the case-level
+    # truncation-safety check is only interesting when it does.
+    "lan-sustained": ChaosScenario(
+        name="lan-sustained", base="LAN - sustained", n_groups=2,
+        group_size=3, horizon_ms=20000.0, n_messages=400,
+        send_window_ms=18000.0, omega_poll_ms=4.0,
     ),
 }
 
@@ -214,8 +224,18 @@ def run_case(spec: CaseSpec) -> CaseResult:
         logs[proc.pid].append((multicast.mid, final_ts, system.scheduler.now))
         multicasts.setdefault(multicast.mid, multicast)
 
+    # Record which T entries each process truncated via state GC: the
+    # "truncate" probe carries the dropped mids, and the post-hoc
+    # truncation-safety property checks them against the delivery logs.
+    truncated: Dict[int, List[MessageId]] = {pid: [] for pid in config.all_pids}
+
+    def on_probe(proc: Any, event: str, data: Any) -> None:
+        if event == "truncate":
+            truncated[proc.pid].extend(data)
+
     for proc in processes.values():
         proc.add_deliver_hook(on_deliver)
+        proc.add_probe_hook(on_probe)
 
     # Workload: bursts of multicasts from random senders inside the send
     # window, all derived from the case seed (independent stream from
@@ -252,6 +272,13 @@ def run_case(spec: CaseSpec) -> CaseResult:
         violations = collect_violations(
             correct_logs, set(multicasts), dest_pids_of, correct
         )
+        try:
+            # Truncations are checked against *all* logs (a process that
+            # truncated and later crashed still delivered first), while
+            # the cross-destination clause only binds correct processes.
+            check_truncation_safety(truncated, logs, dest_pids_of, correct)
+        except PropertyViolation as exc:
+            violations.append(Violation.from_exception(exc))
 
     return CaseResult(
         spec=spec,

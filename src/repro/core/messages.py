@@ -9,9 +9,16 @@ credits for PrimCast's throughput.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from .epoch import Epoch
+
+#: Delivered-prefix report piggybacked on acks and bumps for the state
+#: GC watermark (see ``PrimCastProcess.compact_delivered``): (epoch the
+#: report was made in, absolute count of leading T positions the sender
+#: has a-delivered). Costless on the wire model (message kinds and
+#: counts are unchanged) and ignored by receivers that predate it.
+DpReport = Tuple[Epoch, int]
 
 #: Multicast id: (origin pid, per-origin sequence number). Totally
 #: ordered, used to break final-timestamp ties (Algorithm 1, line 30).
@@ -67,17 +74,24 @@ class Ack:
     tuple (Algorithm 2, line 47).
     """
 
-    __slots__ = ("multicast", "group", "epoch", "ts", "sender")
+    __slots__ = ("multicast", "group", "epoch", "ts", "sender", "dp")
     kind = "ack"
 
     def __init__(
-        self, multicast: Multicast, group: int, epoch: Epoch, ts: int, sender: int
+        self,
+        multicast: Multicast,
+        group: int,
+        epoch: Epoch,
+        ts: int,
+        sender: int,
+        dp: Optional[DpReport] = None,
     ) -> None:
         self.multicast = multicast
         self.group = group
         self.epoch = epoch
         self.ts = ts
         self.sender = sender
+        self.dp = dp
 
     @property
     def mid(self) -> MessageId:
@@ -96,13 +110,16 @@ class Bump:
     process promised to a newer epoch cannot influence quorum-clock()
     computations of older epochs (§5.2.4)."""
 
-    __slots__ = ("epoch", "ts", "sender")
+    __slots__ = ("epoch", "ts", "sender", "dp")
     kind = "bump"
 
-    def __init__(self, epoch: Epoch, ts: int, sender: int) -> None:
+    def __init__(
+        self, epoch: Epoch, ts: int, sender: int, dp: Optional[DpReport] = None
+    ) -> None:
         self.epoch = epoch
         self.ts = ts
         self.sender = sender
+        self.dp = dp
 
 
 class NewEpoch:
@@ -117,9 +134,15 @@ class NewEpoch:
 
 class EpochPromise:
     """⟨promise, E, p, clock, E_cur, T⟩ — a member promises epoch E and
-    reports its state to the candidate (Algorithm 3, line 64)."""
+    reports its state to the candidate (Algorithm 3, line 64).
 
-    __slots__ = ("epoch", "sender", "clock", "e_cur", "t_seq")
+    ``t_seq`` is the live *suffix* of the sender's T: everything below
+    absolute position ``t_base`` was truncated by state GC, which is
+    only legal once every group member delivered it — so the candidate
+    can reconstruct nothing it could ever need from the prefix. Payload
+    size is O(undelivered), not O(history)."""
+
+    __slots__ = ("epoch", "sender", "clock", "e_cur", "t_seq", "t_base")
     kind = "promise"
 
     def __init__(
@@ -129,27 +152,35 @@ class EpochPromise:
         clock: int,
         e_cur: Epoch,
         t_seq: List[Tuple[Epoch, Multicast, int]],
+        t_base: int = 0,
     ) -> None:
         self.epoch = epoch
         self.sender = sender
         self.clock = clock
         self.e_cur = e_cur
         self.t_seq = t_seq
+        self.t_base = t_base
 
 
 class NewState:
     """⟨new-state, E, T, ts⟩ — the candidate installs the chosen state
-    (Algorithm 3, line 69)."""
+    (Algorithm 3, line 69). ``t_seq`` starts at absolute position
+    ``t_base`` (the winning promise's truncation watermark)."""
 
-    __slots__ = ("epoch", "t_seq", "ts")
+    __slots__ = ("epoch", "t_seq", "ts", "t_base")
     kind = "new-state"
 
     def __init__(
-        self, epoch: Epoch, t_seq: List[Tuple[Epoch, Multicast, int]], ts: int
+        self,
+        epoch: Epoch,
+        t_seq: List[Tuple[Epoch, Multicast, int]],
+        ts: int,
+        t_base: int = 0,
     ) -> None:
         self.epoch = epoch
         self.t_seq = t_seq
         self.ts = ts
+        self.t_base = t_base
 
 
 class AcceptEpoch:

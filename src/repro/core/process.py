@@ -74,8 +74,12 @@ ProbeHook = Callable[["PrimCastProcess", str, Any], None]
 #:   this process (the group's ack quorum completed, lines 40-41);
 #: * ``"epoch_change"`` — this process started an epoch change
 #:   (Algorithm 3, lines 58-60); data is the new promised epoch;
-#: * ``"deliver"`` — m was a-delivered here (lines 54-56).
-PROBE_EVENTS = ("start", "propose", "ack_quorum", "epoch_change", "deliver")
+#: * ``"deliver"`` — m was a-delivered here (lines 54-56);
+#: * ``"truncate"`` — :meth:`PrimCastProcess.compact_delivered` dropped
+#:   a group-stable prefix of T; data is the sorted tuple of truncated
+#:   message ids (used by the chaos/verify layer to check truncation
+#:   safety).
+PROBE_EVENTS = ("start", "propose", "ack_quorum", "epoch_change", "deliver", "truncate")
 
 # T entries: (epoch the proposal was made in, the multicast, local ts).
 TEntry = Tuple[Epoch, Multicast, int]
@@ -146,6 +150,23 @@ class PrimCastProcess(RMcastProcess):
         self.delivered: Set[MessageId] = set()  # D
         self.t_list: List[TEntry] = []  # T (sequence)
         self.t_by_mid: Dict[MessageId, Tuple[Epoch, int]] = {}
+
+        # --- watermark-based T truncation (see compact_delivered) ---
+        # Absolute T position of t_list[0]: positions below _t_base were
+        # truncated after every group member reported them delivered.
+        self._t_base = 0
+        # Count of leading t_list entries delivered locally (a lazy scan
+        # cursor; advanced in _delivered_prefix_len, reset on NewState).
+        self._t_delivered_prefix = 0
+        # Latest delivered-prefix report per group member, piggybacked on
+        # ack/bump traffic: pid -> (epoch the report was made in,
+        # absolute delivered prefix). Only reports made in our own E_cur
+        # gate truncation — lineages of different epochs are not
+        # position-comparable.
+        self._peer_dp: Dict[int, Tuple[Epoch, int]] = {}
+        # Cached outgoing report tuple, shared across acks until the
+        # local delivered prefix (or epoch) changes.
+        self._dp_cache: Optional[Tuple[Epoch, int]] = None
 
         # --- M, tracked incrementally ---
         self.started: Dict[MessageId, Multicast] = {}
@@ -247,23 +268,133 @@ class PrimCastProcess(RMcastProcess):
     def compact_delivered(self) -> int:
         """Release per-message tracking state of delivered messages.
 
-        The pseudocode's M grows forever; a deployment compacts it. Ack
-        trackers and cached finals of already-delivered messages are no
-        longer consulted (min-clock contributions were folded into the
-        incremental ClockTracker on receipt), so they can be dropped.
-        The T sequence, the delivered-set and the clock state are kept —
-        they feed epoch changes and duplicate suppression. A straggler
-        ack for a compacted message merely rebuilds an (unused) tracker.
+        The pseudocode's M and T grow forever; a deployment compacts
+        them. Two mechanisms:
+
+        * Ack trackers and cached finals of already-delivered messages
+          are no longer consulted (min-clock contributions were folded
+          into the incremental ClockTracker on receipt), so they are
+          dropped. A straggler ack for a compacted message merely
+          rebuilds an (unused) tracker, swept again on the next call.
+        * The T prefix below the *group-stable watermark* — the minimum
+          delivered prefix every group member reported under the current
+          epoch — is truncated: ``t_list`` / ``t_by_mid`` / ``started``
+          / ``my_acks`` entries of truncated positions are released.
+          Truncation is safe because (a) every member has delivered
+          those entries, so they can never become pending again, and
+          (b) every member has already *transmitted* its acks for them
+          (acks precede delivery on every path), so the epoch-activation
+          resend of lines 75-81 is never needed for them. The suffix
+          plus ``_t_base`` is exactly what EpochPromise/NewState carry,
+          making a primary change O(undelivered) instead of O(history).
+
+        The delivered-set D and the clock state are kept — they feed
+        duplicate suppression, re-propose guards and quorum clocks.
 
         Returns the number of messages whose state was released.
         """
         freed = 0
+        delivered = self.delivered
+        t_by_mid = self.t_by_mid
         for mid in list(self._final_cache):
-            if mid in self.delivered:
+            if mid in delivered:
                 self.acks.pop(mid, None)
                 del self._final_cache[mid]
                 freed += 1
+        # T truncation below the group-stable watermark.
+        cut = self._stable_watermark() - self._t_base
+        if cut > 0:
+            removed = self.t_list[:cut]
+            del self.t_list[:cut]
+            self._t_base += cut
+            self._t_delivered_prefix -= cut
+            self._dp_cache = None
+            dropped: Set[MessageId] = set()
+            for _, multicast, _ in removed:
+                mid = multicast.mid
+                if mid not in t_by_mid:
+                    continue
+                dropped.add(mid)
+                del t_by_mid[mid]
+            if dropped:
+                # Drop *every* my_acks tuple of a truncated message, not
+                # just the T-entry tuple: the same mid acked under older
+                # epochs would otherwise leak its stale tuples forever.
+                if self.my_acks:
+                    self.my_acks = {
+                        t for t in self.my_acks if t[0] not in dropped
+                    }
+                if self.probe_hooks is not None:
+                    self._probe("truncate", tuple(sorted(dropped)))
+        # Delivered messages no longer in T (truncated above, or dropped
+        # by a NewState install): their started entries are unreachable.
+        for mid in list(self.started):
+            if mid in delivered and mid not in t_by_mid:
+                del self.started[mid]
+        # Straggler-rebuilt ack trackers: an ack arriving after delivery
+        # re-creates a tracker nothing reads (the first mechanism freed
+        # it together with the cached final). Delivered-ness alone makes
+        # it garbage — no send is ever conditioned on a tracker of a
+        # delivered message.
+        for mid in list(self.acks):
+            if mid in delivered:
+                del self.acks[mid]
         return freed
+
+    # ------------------------------------------------------------------
+    # delivered-prefix watermark (state GC)
+    # ------------------------------------------------------------------
+
+    def _delivered_prefix_len(self) -> int:
+        """Advance and return the count of leading locally-delivered
+        t_list entries. Amortized O(1): the cursor only moves forward
+        (deliveries never un-happen) until a NewState install resets it.
+        """
+        t_list = self.t_list
+        delivered = self.delivered
+        i = self._t_delivered_prefix
+        n = len(t_list)
+        while i < n and t_list[i][1].mid in delivered:
+            i += 1
+        self._t_delivered_prefix = i
+        return i
+
+    def _dp_report(self) -> Tuple[Epoch, int]:
+        """The delivered-prefix report piggybacked on outgoing acks and
+        bumps: (current epoch, absolute delivered prefix). Cached so the
+        common many-acks-per-delivery case shares one tuple."""
+        dp = self._t_base + self._delivered_prefix_len()
+        cached = self._dp_cache
+        if cached is not None and cached[1] == dp and cached[0] == self.e_cur:
+            return cached
+        cached = (self.e_cur, dp)
+        self._dp_cache = cached
+        return cached
+
+    def _stable_watermark(self) -> int:
+        """Highest absolute T position every group member (self included)
+        reported delivered under the current epoch.
+
+        A missing or stale-epoch report pins the watermark at ``_t_base``
+        (no truncation): a member whose report was made under a different
+        epoch may hold a different T lineage, so its positions are not
+        comparable to ours. After a member crashes its report eventually
+        goes stale on the next epoch change and the watermark freezes —
+        conservative but safe (memory stops shrinking, correctness is
+        unaffected).
+        """
+        e_cur = self.e_cur
+        peer_dp = self._peer_dp
+        low = self._t_base + self._delivered_prefix_len()
+        for pid in self.group_members:
+            if pid == self.pid:
+                continue
+            rec = peer_dp.get(pid)
+            if rec is None or rec[0] != e_cur:
+                return self._t_base
+            if rec[1] < low:
+                low = rec[1]
+        return low
 
     # ------------------------------------------------------------------
     # r-deliver dispatch
@@ -279,11 +410,16 @@ class PrimCastProcess(RMcastProcess):
         if msg.__class__ is Envelope:
             rm = self.rm
             if not rm.relay and "on_r_deliver" not in self.__dict__:
-                key = (msg.origin, msg.seq)
-                delivered = rm._delivered
-                if key in delivered:
+                # Watermark dedupe (see FifoReliableMulticast.handle):
+                # channel FIFO makes per-origin seqs strictly increasing,
+                # so one int per origin replaces the historical key set.
+                origin = msg.origin
+                seq = msg.seq
+                high = rm._dedupe_high
+                prev = high.get(origin)
+                if prev is not None and seq <= prev:
                     return
-                delivered.add(key)
+                high[origin] = seq
                 payload = msg.payload
                 handler = self._r_dispatch.get(payload.__class__)
                 if handler is not None:
@@ -314,7 +450,11 @@ class PrimCastProcess(RMcastProcess):
     def _on_start(self, origin: int, start: Start) -> None:
         """Lines 33-34 plus the standing proposal rule (line 35)."""
         multicast = start.multicast
-        if multicast.mid not in self.started:
+        # The delivered guard only matters after compaction swept the
+        # started entry: a late-arriving start for a delivered message
+        # must not resurrect state (with GC off it is a no-op — delivered
+        # implies a started entry exists).
+        if multicast.mid not in self.started and multicast.mid not in self.delivered:
             self.started[multicast.mid] = multicast
             if self.probe_hooks is not None:
                 self._probe("start", multicast.mid)
@@ -324,6 +464,11 @@ class PrimCastProcess(RMcastProcess):
     def _proposable(self, multicast: Multicast) -> bool:
         """Line 24: start seen, no local ts decided, not yet in T."""
         if self.gid not in multicast.dest:
+            return False
+        # Delivered messages are never re-proposable. With GC off this is
+        # implied by the t_by_mid / tracker checks below; once compaction
+        # truncates T and sweeps trackers it must be explicit.
+        if multicast.mid in self.delivered:
             return False
         if multicast.mid in self.t_by_mid:
             return False
@@ -363,7 +508,7 @@ class PrimCastProcess(RMcastProcess):
 
     def _send_ack(self, multicast: Multicast, epoch: Epoch, ts: int) -> None:
         self.my_acks.add((multicast.mid, epoch, ts))
-        ack = Ack(multicast, self.gid, epoch, ts, self.pid)
+        ack = Ack(multicast, self.gid, epoch, ts, self.pid, self._dp_report())
         self.r_multicast(ack, self.config.dest_pids(multicast.dest))
 
     def _on_ack(self, origin: int, ack: Ack) -> None:
@@ -372,9 +517,11 @@ class PrimCastProcess(RMcastProcess):
         mid = multicast.mid
         # A remote ack doubles as a start tuple (line 47); for own-group
         # acks the multicast object it carries is the same payload, so
-        # storing it is equivalent to having r-delivered the start.
+        # storing it is equivalent to having r-delivered the start. The
+        # delivered guard keeps a straggler ack from resurrecting a
+        # compaction-swept started entry (no-op with GC off).
         started = self.started
-        if mid not in started:
+        if mid not in started and mid not in self.delivered:
             started[mid] = multicast
         acks = self.acks
         trackers = acks.get(mid)
@@ -388,6 +535,11 @@ class PrimCastProcess(RMcastProcess):
         )
         changed = False
         if ack.group == self.gid:
+            # Group-mate: record its piggybacked delivered-prefix report
+            # (the watermark input of compact_delivered).
+            rep = ack.dp
+            if rep is not None:
+                self._peer_dp[ack.sender] = rep
             # Clock value implicitly propagated inside the group (§5.2.4).
             changed = self.clocks.observe(self.e_cur, ack.epoch, ack.ts, ack.sender)
             if changed:
@@ -397,6 +549,8 @@ class PrimCastProcess(RMcastProcess):
                 and ack.epoch == self.e_cur
                 and self.role == FOLLOWER
                 and mid not in self.t_by_mid
+                # Never re-append a delivered (possibly truncated) entry.
+                and mid not in self.delivered
             ):
                 # Accept the primary's proposal and echo our own ack
                 # (lines 42-45).
@@ -410,7 +564,8 @@ class PrimCastProcess(RMcastProcess):
                 self.clock = ack.ts
                 if self.enable_bumps:
                     self.r_multicast(
-                        Bump(self.e_prom, self.clock, self.pid), self.group_members
+                        Bump(self.e_prom, self.clock, self.pid, self._dp_report()),
+                        self.group_members,
                     )
             if self.role == PRIMARY and self._proposable(multicast):
                 # The piggybacked start makes m proposable (line 35).
@@ -426,6 +581,9 @@ class PrimCastProcess(RMcastProcess):
 
     def _on_bump(self, origin: int, bump: Bump) -> None:
         """Lines 51-52: record the clock observation."""
+        rep = bump.dp
+        if rep is not None:
+            self._peer_dp[bump.sender] = rep
         if self.clocks.observe(self.e_cur, bump.epoch, bump.ts, bump.sender):
             self._qclock_cache = None
             self._try_deliver()
@@ -654,7 +812,13 @@ class PrimCastProcess(RMcastProcess):
         if self.pid != epoch.leader:
             self.role = PROMISED
         self.e_prom = epoch
-        promise = EpochPromise(epoch, self.pid, self.clock, self.e_cur, list(self.t_list))
+        # The promise carries only the live suffix of T plus the absolute
+        # position it starts at: everything below _t_base is delivered at
+        # every group member (the truncation precondition), so the
+        # candidate never needs it — primary change is O(undelivered).
+        promise = EpochPromise(
+            epoch, self.pid, self.clock, self.e_cur, list(self.t_list), self._t_base
+        )
         self.r_multicast(promise, [epoch.leader])
 
     def _on_epoch_promise(self, origin: int, msg: EpochPromise) -> None:
@@ -670,16 +834,36 @@ class PrimCastProcess(RMcastProcess):
         promises = list(bucket.values())
         e_max = max(p.e_cur for p in promises)
         candidates = [p for p in promises if p.e_cur == e_max]
-        t_max = max(candidates, key=lambda p: len(p.t_seq)).t_seq
+        # Longest T by *absolute* end position (t_base + suffix length):
+        # within one epoch lineage all Ts are prefix-consistent, so the
+        # largest end position is the most complete — identical to the
+        # untruncated longest-suffix winner when nothing was truncated.
+        winner = max(candidates, key=lambda p: p.t_base + len(p.t_seq))
         start_ts = max(p.clock for p in promises)
         self._new_state_sent.add(msg.epoch)
-        self.r_multicast(NewState(msg.epoch, list(t_max), start_ts), self.group_members)
+        self.r_multicast(
+            NewState(msg.epoch, list(winner.t_seq), start_ts, winner.t_base),
+            self.group_members,
+        )
 
     def _on_new_state(self, origin: int, msg: NewState) -> None:
         """Lines 70-74."""
         if msg.epoch != self.e_prom:
             return
+        # Install the carried suffix at its absolute base position. Every
+        # entry the winner truncated (below msg.t_base) is delivered at
+        # every member that contributed an epoch-fresh report — including
+        # any entry of our own old T below our own _t_base — so dropping
+        # our local prefix loses nothing. Entries of *our* T below
+        # msg.t_base but above our _t_base are re-installed verbatim via
+        # the carried suffix when the winner had them; if we truncated
+        # further than the winner, the suffix re-adds entries we already
+        # delivered (harmless: pending excludes delivered mids, and the
+        # next compaction sweeps them again).
         self.t_list = list(msg.t_seq)
+        self._t_base = msg.t_base
+        self._t_delivered_prefix = 0
+        self._dp_cache = None
         self.t_by_mid = {m.mid: (epoch, ts) for epoch, m, ts in self.t_list}
         self.pending = {
             m.mid for _, m, _ in self.t_list if m.mid not in self.delivered
@@ -702,6 +886,13 @@ class PrimCastProcess(RMcastProcess):
         self.e_cur = msg.epoch
         self.clocks.advance_epoch(self.e_cur)
         self._qclock_cache = None
+        # Epoch bookkeeping below the new E_cur can never be read again
+        # (every consumer compares against E_cur / E_prom, both >= it).
+        for epoch in sorted(e for e in self.promises if e < self.e_cur):
+            del self.promises[epoch]
+        for epoch in sorted(e for e in self.accepts if e < self.e_cur):
+            del self.accepts[epoch]
+        self._new_state_sent = {e for e in sorted(self._new_state_sent) if e >= self.e_cur}
         if msg.ts > self.clock:
             self.clock = msg.ts
         self.r_multicast(AcceptEpoch(self.e_cur, self.pid), self.group_members)

@@ -31,9 +31,11 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..sim.costs import CostModel
+from ..core.gc import DEFAULT_COMPACTION_INTERVAL_MS
 from ..workload.scenarios import (
     Scenario,
     lan_scenario,
+    lan_sustained,
     wan_colocated_leaders,
     wan_distributed_leaders,
 )
@@ -62,6 +64,7 @@ class WorkSpec(Protocol):
 #: content-addressable; workers rebuild the scenario from this registry.
 SCENARIO_BUILDERS: Dict[str, Callable[[int, int], Scenario]] = {
     "LAN": lan_scenario,
+    "LAN - sustained": lan_sustained,
     "WAN - colocated leaders": wan_colocated_leaders,
     "WAN - distributed leaders": wan_distributed_leaders,
 }
@@ -155,6 +158,7 @@ class PointSpec:
     batching_ms: float = 0.0
     epsilon_ms: Optional[float] = None
     cost_model: Optional[Dict[str, Any]] = field(default=None, compare=True)
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS
 
     def canonical(self) -> Dict[str, Any]:
         """JSON-safe dict with a stable field set (cache-key input)."""
@@ -175,6 +179,7 @@ class PointSpec:
             epsilon_ms=self.epsilon_ms,
             keep_samples=self.keep_samples,
             batching_ms=self.batching_ms,
+            compaction_interval_ms=self.compaction_interval_ms,
         )
 
 
@@ -190,6 +195,7 @@ def point_spec(
     epsilon_ms: Optional[float] = None,
     keep_samples: bool = False,
     batching_ms: float = 0.0,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
 ) -> PointSpec:
     """Build a :class:`PointSpec` mirroring one ``run_load_point`` call.
 
@@ -227,6 +233,7 @@ def point_spec(
         batching_ms=batching_ms,
         epsilon_ms=eps,
         cost_model=cost_model_spec(cost_model),
+        compaction_interval_ms=compaction_interval_ms,
     )
 
 
@@ -242,6 +249,7 @@ def expand_sweep(
     epsilon_ms: Optional[float] = None,
     keep_samples: bool = False,
     batching_ms: float = 0.0,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
 ) -> List[PointSpec]:
     """Flatten a protocol × load grid into specs, in serial-sweep order."""
     return [
@@ -257,6 +265,7 @@ def expand_sweep(
             epsilon_ms=epsilon_ms,
             keep_samples=keep_samples,
             batching_ms=batching_ms,
+            compaction_interval_ms=compaction_interval_ms,
         )
         for protocol in protocols
         for outstanding in loads

@@ -25,14 +25,25 @@ import json
 import os
 import pstats
 import time
+import tracemalloc
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from ..workload.scenarios import Scenario, wan_colocated_leaders
+from ..core.gc import DEFAULT_COMPACTION_INTERVAL_MS
+from ..sim.rng import child_rng
+from ..workload.generator import make_clients
+from ..workload.scenarios import Scenario, lan_sustained, wan_colocated_leaders
 from .cache import ResultCache
 from .parallel import SweepExecutor, expand_sweep
-from .runner import RunResult, run_load_point
+from .runner import (
+    STREAM_LOG_KEEP,
+    STREAM_SAMPLE_KEEP,
+    RunResult,
+    build_system,
+    run_load_point,
+)
 
 #: Default location of the perf record, at the repository root.
 BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_perf.json"
@@ -84,12 +95,18 @@ def measure_load_point(
     repeats: int = 3,
     point: Optional[str] = None,
     profile: bool = False,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
 ) -> PerfPoint:
     """Run one load point ``repeats`` times and report best-of wall time.
 
     With ``profile=True`` the last repeat runs under cProfile and the top
     functions (by internal time) are printed — note cProfile inflates
     wall time roughly 2-3x, so profiled runs are excluded from timing.
+
+    ``compaction_interval_ms=0`` disables the state-GC daemon, making
+    the event schedule exactly the seed revision's (the daemon only adds
+    its own timer events) — the seed-baseline comparison passes 0 so
+    ``events == SEED_BASELINE['events']`` stays exact.
     """
     if scenario is None:
         scenario = wan_colocated_leaders()
@@ -101,6 +118,7 @@ def measure_load_point(
         seed=seed,
         keep_samples=False,
         batching_ms=batching_ms,
+        compaction_interval_ms=compaction_interval_ms,
     )
     walls = []
     result: Optional[RunResult] = None
@@ -268,6 +286,150 @@ def measure_sweep_scaling(
         "identical": parallel_results == serial_results,
         "warm_identical": warm_results == serial_results,
         "total_events": sum(r.events for r in serial_results),
+    }
+
+
+def _steady_state_run(
+    compaction_interval_ms: float,
+    scenario: Scenario,
+    n_dest_groups: int,
+    outstanding: int,
+    seed: int,
+    warmup_ms: float,
+    measure_ms: float,
+    n_segments: int,
+) -> Dict[str, Any]:
+    """One instrumented sustained run: tracemalloc peak past warmup plus
+    per-segment events/sec (streaming stats keep the harness side O(1))."""
+    system = build_system(
+        "primcast",
+        scenario,
+        seed=seed,
+        compaction_interval_ms=compaction_interval_ms,
+    )
+    clients = make_clients(
+        system.replicas,
+        n_dest_groups,
+        system.config.n_groups,
+        outstanding,
+        child_rng(seed, "workload"),
+        sample_limit=STREAM_SAMPLE_KEEP,
+        measure_from_ms=warmup_ms,
+    )
+    for proc in system.replicas:
+        proc.delivery_log = deque(maxlen=STREAM_LOG_KEEP)
+    for client in clients:
+        client.start()
+    scheduler = system.scheduler
+    tracemalloc.start()
+    try:
+        scheduler.run(until=warmup_ms)
+        # Warmup allocations (imports, system build, ramp-up) are shared
+        # noise; the steady-state claim is about growth *past* warmup.
+        tracemalloc.reset_peak()
+        segment_ms = measure_ms / n_segments
+        segments = []
+        prev_events = scheduler.events_processed
+        t0 = time.perf_counter()
+        for i in range(1, n_segments + 1):
+            s0 = time.perf_counter()
+            scheduler.run(until=warmup_ms + i * segment_ms)
+            wall = time.perf_counter() - s0
+            events = scheduler.events_processed - prev_events
+            prev_events = scheduler.events_processed
+            segments.append(
+                {
+                    "events": events,
+                    "wall_s": round(wall, 4),
+                    "events_per_sec": round(events / wall, 1) if wall > 0 else 0.0,
+                }
+            )
+        total_wall = time.perf_counter() - t0
+        current_bytes, peak_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    for client in clients:
+        client.stop()
+    delivered = sum(client.stat_count for client in clients)
+    events = sum(s["events"] for s in segments)
+    daemon = system.compaction
+    first, last = segments[0]["events_per_sec"], segments[-1]["events_per_sec"]
+    return {
+        "compaction_interval_ms": compaction_interval_ms,
+        "peak_bytes": peak_bytes,
+        "current_bytes": current_bytes,
+        "delivered": delivered,
+        "throughput": delivered / (measure_ms / 1000.0),
+        "events": events,
+        "wall_s": round(total_wall, 4),
+        "events_per_sec": round(events / total_wall, 1) if total_wall > 0 else 0.0,
+        "segments": segments,
+        #: last-segment events/sec over first-segment — a run whose state
+        #: keeps growing shows a sub-1 drift as dict/set ops slow down
+        "events_per_sec_drift": round(last / first, 4) if first > 0 else 0.0,
+        "compaction_runs": daemon.runs if daemon is not None else 0,
+        "compaction_freed": daemon.freed if daemon is not None else 0,
+    }
+
+
+def measure_steady_state(
+    scenario: Optional[Scenario] = None,
+    n_dest_groups: int = 2,
+    outstanding: int = 4,
+    seed: int = 1,
+    warmup_ms: float = 500.0,
+    measure_ms: float = 6500.0,
+    n_segments: int = 8,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
+) -> Dict[str, Any]:
+    """Bounded-memory steady-state bench: state GC on vs off.
+
+    Runs the same sustained load point (defaults: the ``lan_sustained``
+    scenario for ~10x a fig-3 smoke point's simulated time) twice — once
+    with the compaction daemon at its default interval, once disabled —
+    and reports peak tracemalloc bytes past warmup, exact delivered
+    throughput, and per-segment events/sec for both. The headline
+    numbers:
+
+    * ``peak_ratio`` — GC-on peak over GC-off peak. The tentpole
+      acceptance bar is < 0.5: with truncation the per-process protocol
+      state is O(in-flight), without it O(messages ever sent).
+    * ``throughput_ratio`` — GC-on over GC-off delivered msg/s; must not
+      degrade (the sweep only discards state the protocol cannot read).
+
+    Both runs use streaming stats, so the measurement harness itself
+    stays O(1) and the peaks reflect protocol state, not sample lists.
+    """
+    if scenario is None:
+        scenario = lan_sustained()
+    common = dict(
+        scenario=scenario,
+        n_dest_groups=n_dest_groups,
+        outstanding=outstanding,
+        seed=seed,
+        warmup_ms=warmup_ms,
+        measure_ms=measure_ms,
+        n_segments=n_segments,
+    )
+    gc_on = _steady_state_run(compaction_interval_ms, **common)
+    gc_off = _steady_state_run(0.0, **common)
+    peak_ratio = (
+        gc_on["peak_bytes"] / gc_off["peak_bytes"] if gc_off["peak_bytes"] else 0.0
+    )
+    throughput_ratio = (
+        gc_on["throughput"] / gc_off["throughput"] if gc_off["throughput"] else 0.0
+    )
+    return {
+        "point": f"{scenario.name}-primcast-d{n_dest_groups}-o{outstanding}",
+        "scenario": scenario.name,
+        "n_groups": scenario.n_groups,
+        "group_size": scenario.group_size,
+        "warmup_ms": warmup_ms,
+        "measure_ms": measure_ms,
+        "gc_on": gc_on,
+        "gc_off": gc_off,
+        "peak_ratio": round(peak_ratio, 4),
+        "throughput_ratio": round(throughput_ratio, 4),
     }
 
 

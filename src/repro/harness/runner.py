@@ -11,12 +11,18 @@ client, from submission to a-delivery at its replica — both exactly as
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..baselines.fastcast import FastCastProcess
 from ..baselines.whitebox import WhiteBoxProcess
 from ..core.config import GroupConfig
+from ..core.gc import (
+    DEFAULT_COMPACTION_INTERVAL_MS,
+    CompactionDaemon,
+    attach_compaction,
+)
 from ..core.process import PrimCastProcess
 from ..election.omega import OmegaOracle, make_oracles
 from ..sim.clock import make_clocks
@@ -43,6 +49,8 @@ class System:
     config: GroupConfig
     processes: Dict[int, Any]
     oracles: Optional[Dict[int, OmegaOracle]] = None
+    #: periodic state-GC driver (PrimCast protocols, interval > 0 only)
+    compaction: Optional[CompactionDaemon] = None
 
     @property
     def replicas(self) -> List[Any]:
@@ -57,6 +65,7 @@ def build_system(
     omega_poll_ms: Optional[float] = None,
     epsilon_ms: Optional[float] = None,
     batching_ms: float = 0.0,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
 ) -> System:
     """Instantiate one protocol deployment on one scenario.
 
@@ -71,9 +80,17 @@ def build_system(
         batching_ms: opt-in ack/bump coalescing window per channel
             (models the prototype's §7.1 TCP batching); 0 = off, which
             is wire-identical to the seed behaviour.
+        compaction_interval_ms: periodic state-GC sweep interval for the
+            PrimCast protocols (default on). 0 disables compaction;
+            delivery order and timestamps are bit-identical either way —
+            only the scheduler's event count differs (one timer event
+            per sweep). Like Ω polling, an armed daemon keeps the event
+            heap non-empty, so drive such systems with
+            ``scheduler.run(until=...)``.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
+    compaction: Optional[CompactionDaemon] = None
     config = scenario.make_config()
     scheduler = Scheduler()
     network = Network(
@@ -107,6 +124,10 @@ def build_system(
             for pid, proc in processes.items():
                 proc.omega = oracles[config.group_of[pid]]
                 proc.omega.subscribe(proc._on_omega_output)
+        if compaction_interval_ms > 0.0:
+            compaction = attach_compaction(
+                scheduler, processes, compaction_interval_ms
+            )
     elif protocol == "whitebox":
         for pid in config.all_pids:
             processes[pid] = WhiteBoxProcess(
@@ -118,7 +139,9 @@ def build_system(
                 pid, config, scheduler, network, costs, batching_ms=batching_ms
             )
 
-    return System(protocol, scenario, scheduler, network, config, processes, oracles)
+    return System(
+        protocol, scenario, scheduler, network, config, processes, oracles, compaction
+    )
 
 
 @dataclass
@@ -185,6 +208,13 @@ class RunResult:
         )
 
 
+#: Streaming-stats ring sizes: per-client latency samples kept for the
+#: percentile estimate, and per-process delivery_log entries kept for
+#: debugging. Aggregate count/mean/throughput stay exact either way.
+STREAM_SAMPLE_KEEP = 2048
+STREAM_LOG_KEEP = 512
+
+
 def run_load_point(
     protocol: str,
     scenario: Scenario,
@@ -197,6 +227,8 @@ def run_load_point(
     epsilon_ms: Optional[float] = None,
     keep_samples: bool = True,
     batching_ms: float = 0.0,
+    compaction_interval_ms: float = DEFAULT_COMPACTION_INTERVAL_MS,
+    streaming_stats: bool = False,
 ) -> RunResult:
     """Run one (protocol, scenario, destinations, load) point.
 
@@ -205,6 +237,14 @@ def run_load_point(
 
     ``batching_ms > 0`` enables the per-channel ack/bump coalescing layer
     (§7.1 batching); the default of 0 is wire-identical to no batching.
+
+    ``streaming_stats`` bounds collection-side memory for long runs:
+    clients keep a ring of recent samples plus exact running aggregates,
+    and every replica's ``delivery_log`` becomes a bounded deque. The
+    returned latency ``count``/``mean`` and the throughput are exact;
+    p50/p95/p99 are estimated over the ring contents (the most recent
+    ``STREAM_SAMPLE_KEEP`` samples per client) and ``samples`` is empty.
+    The simulation schedule is identical to the non-streaming run.
     """
     system = build_system(
         protocol,
@@ -213,11 +253,21 @@ def run_load_point(
         cost_model=cost_model,
         epsilon_ms=epsilon_ms,
         batching_ms=batching_ms,
+        compaction_interval_ms=compaction_interval_ms,
     )
     rng = child_rng(seed, "workload")
     clients = make_clients(
-        system.replicas, n_dest_groups, system.config.n_groups, outstanding, rng
+        system.replicas,
+        n_dest_groups,
+        system.config.n_groups,
+        outstanding,
+        rng,
+        sample_limit=STREAM_SAMPLE_KEEP if streaming_stats else None,
+        measure_from_ms=warmup_ms if streaming_stats else 0.0,
     )
+    if streaming_stats:
+        for proc in system.replicas:
+            proc.delivery_log = deque(maxlen=STREAM_LOG_KEEP)
     for client in clients:
         client.start()
     end = warmup_ms + measure_ms
@@ -225,26 +275,43 @@ def run_load_point(
     for client in clients:
         client.stop()
 
-    # Latencies are collected unconditionally (the summary needs them);
-    # the per-sample (pid, when, lat) tuples only when the caller asked —
-    # at high load a full sweep would otherwise hold every sample of
-    # every point in memory just to throw them away.
     samples: List[Tuple[int, float, float]] = []
     latencies: List[float] = []
-    for client in clients:
-        for pid, when, lat in client.samples:
-            if warmup_ms <= when < end:
-                latencies.append(lat)
-                if keep_samples:
-                    samples.append((pid, when, lat))
-    throughput = len(latencies) / (measure_ms / 1000.0)
+    if streaming_stats:
+        # Exact aggregates from the running counters; percentiles over
+        # the ring window (documented approximation).
+        total = 0
+        lat_sum = 0.0
+        for client in clients:
+            total += client.stat_count
+            lat_sum += client.stat_sum_ms
+            for pid, when, lat in client.samples:
+                if warmup_ms <= when < end:
+                    latencies.append(lat)
+        latency = summarize(latencies)
+        latency["count"] = total
+        latency["mean"] = lat_sum / total if total else 0.0
+        throughput = total / (measure_ms / 1000.0)
+    else:
+        # Latencies are collected unconditionally (the summary needs
+        # them); the per-sample (pid, when, lat) tuples only when the
+        # caller asked — at high load a full sweep would otherwise hold
+        # every sample of every point in memory just to throw them away.
+        for client in clients:
+            for pid, when, lat in client.samples:
+                if warmup_ms <= when < end:
+                    latencies.append(lat)
+                    if keep_samples:
+                        samples.append((pid, when, lat))
+        throughput = len(latencies) / (measure_ms / 1000.0)
+        latency = summarize(latencies)
     return RunResult(
         protocol=protocol,
         scenario=scenario.name,
         n_dest_groups=n_dest_groups,
         outstanding=outstanding,
         throughput=throughput,
-        latency=summarize(latencies),
+        latency=latency,
         samples=samples,
         message_counts=dict(system.network.counts_by_kind),
         events=system.scheduler.events_processed,

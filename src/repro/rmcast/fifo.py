@@ -11,7 +11,17 @@ Implementation notes:
 * FIFO order comes from the per-pair FIFO channels of the simulated
   network (the prototype relies on TCP the same way, §7.1).
 * Integrity (deliver at most once, only if multicast) is enforced with a
-  per-origin sequence number and a duplicate filter.
+  per-origin sequence number and a duplicate filter. The filter is
+  *compacted*: because every channel is FIFO and (without relaying) each
+  ``(origin, seq)`` envelope crosses a given channel exactly once,
+  arrivals from one origin are strictly increasing in ``seq``, so a
+  per-origin high watermark (one int per origin, O(origins) memory)
+  replaces the historical ``(origin, seq)`` set that grew with every
+  message ever received. In relay mode, copies of one envelope arrive
+  over several channels and are not monotone; seqs above the
+  direct-channel watermark are tracked in a sparse per-origin overflow
+  set that drains as the watermark advances, bounding the filter by the
+  out-of-order window instead of the run length.
 * Non-uniform agreement: with reliable channels, direct per-destination
   sends suffice while the sender is correct; messages multicast by a
   process that crashes mid-send may be lost, which non-uniform agreement
@@ -122,7 +132,16 @@ class FifoReliableMulticast:
         self.batching_ms = batching_ms
         self.batch_kinds = batch_kinds
         self._next_seq = 0
-        self._delivered: Set[Tuple[int, int]] = set()
+        # Dedupe watermark: origin -> highest seq delivered. Arrivals on
+        # the direct origin->self channel are strictly increasing in seq
+        # (per-channel FIFO, one transmission per (origin, seq, dst)), so
+        # ``seq <= high`` means duplicate. O(origins), not O(history).
+        self._dedupe_high: Dict[int, int] = {}
+        # Relay mode only: seqs delivered via a relayed copy before the
+        # direct copy arrived (they sit above the watermark). Drained as
+        # the direct channel catches up, so the size is bounded by the
+        # out-of-order window, not the run length.
+        self._overflow: Dict[int, Set[int]] = {}
         # Per-destination coalescing buffers (only used when batching).
         self._pending: Dict[int, List[Envelope]] = {}
         self._armed: Set[int] = set()
@@ -214,19 +233,51 @@ class FifoReliableMulticast:
 
         Returns ``(origin, payload)`` exactly once per multicast (the
         r-delivery), or ``None`` for duplicates.
+
+        Duplicate detection is watermark-based: any arriving seq at or
+        below ``_dedupe_high[origin]`` was already delivered — when the
+        direct copy of seq ``h`` arrived, channel FIFO guarantees every
+        direct seq below ``h`` addressed to us had arrived before it.
+        Without relaying that is the whole filter; with relaying, seqs
+        above the watermark delivered out of order (via a relayed copy)
+        live in the sparse ``_overflow`` set until the watermark passes
+        them.
         """
-        key = (env.origin, env.seq)
-        delivered = self._delivered
-        if key in delivered:
+        origin = env.origin
+        seq = env.seq
+        if seq <= self._dedupe_high.get(origin, -1):
             return None
-        delivered.add(key)
-        if self.relay and not env.relayed and env.origin != self.owner.pid:
-            fwd = Envelope(env.origin, env.seq, env.payload, env.dests, relayed=True)
+        if not self.relay:
+            self._dedupe_high[origin] = seq
+            return origin, env.payload
+        buf = self._overflow.get(origin)
+        if env.relayed:
+            if buf is not None and seq in buf:
+                return None
+            if buf is None:
+                buf = self._overflow[origin] = set()
+            buf.add(seq)
+            return origin, env.payload
+        # Direct copy: advance the watermark and drain overflow entries
+        # the watermark has now passed.
+        self._dedupe_high[origin] = seq
+        duplicate = False
+        if buf:
+            duplicate = seq in buf
+            remaining = {q for q in buf if q > seq}
+            if remaining:
+                self._overflow[origin] = remaining
+            else:
+                del self._overflow[origin]
+        if duplicate:
+            return None
+        if origin != self.owner.pid:
+            fwd = Envelope(origin, seq, env.payload, env.dests, relayed=True)
             own_pid = self.owner.pid
             for dst in env.dests:
-                if dst != own_pid and dst != env.origin:
+                if dst != own_pid and dst != origin:
                     self.owner.send(dst, fwd)
-        return env.origin, env.payload
+        return origin, env.payload
 
 
 class RMcastProcess(SimProcess):

@@ -56,7 +56,13 @@ class Network:
         self.messages_sent = 0
         self.trace_hooks: List[TraceHook] = []
         self._last_arrival: Dict[Tuple[int, int], float] = {}
-        self._blocked_pairs: set = set()
+        # Directed pair -> number of active blocks. Refcounting (rather
+        # than a plain set) makes overlapping partitions compose: a pair
+        # blocked by two partitions stays blocked until *both* are
+        # lifted, so healing one partition cannot prematurely release
+        # parked traffic of the other (which would break channel FIFO
+        # for messages parked behind the still-standing block).
+        self._blocked_pairs: Dict[Tuple[int, int], int] = {}
         # Messages caught by a partition. Channels are reliable (§2.1):
         # before the GST traffic is *delayed*, not lost, so parked
         # messages are released when the pair heals.
@@ -77,14 +83,26 @@ class Network:
     # ------------------------------------------------------------------
 
     def block_pair(self, a: int, b: int) -> None:
-        """Drop all traffic between a and b (both directions): partition."""
-        self._blocked_pairs.add((a, b))
-        self._blocked_pairs.add((b, a))
+        """Park all traffic between a and b (both directions): partition.
+
+        Blocks are refcounted: blocking the same pair twice (e.g. via
+        two overlapping :meth:`partition` calls) requires two unblocks
+        before traffic flows again.
+        """
+        blocked = self._blocked_pairs
+        blocked[(a, b)] = blocked.get((a, b), 0) + 1
+        blocked[(b, a)] = blocked.get((b, a), 0) + 1
 
     def unblock_pair(self, a: int, b: int) -> None:
-        """Heal a previously blocked pair; parked traffic is released."""
-        self._blocked_pairs.discard((a, b))
-        self._blocked_pairs.discard((b, a))
+        """Drop one block on the pair; parked traffic is released once no
+        block remains (and never sooner — see ``_blocked_pairs``)."""
+        blocked = self._blocked_pairs
+        for pair in ((a, b), (b, a)):
+            count = blocked.get(pair, 0)
+            if count > 1:
+                blocked[pair] = count - 1
+            elif count == 1:
+                del blocked[pair]
         self._release_parked()
 
     def partition(self, side_a: List[int], side_b: List[int]) -> None:

@@ -10,6 +10,7 @@ from .properties import (
     check_integrity,
     check_prefix_order,
     check_timestamp_order,
+    check_truncation_safety,
     check_uniform_agreement,
     collect_violations,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "check_acyclic_order",
     "check_prefix_order",
     "check_timestamp_order",
+    "check_truncation_safety",
     "check_all",
     "collect_violations",
     "GenuinenessTracer",

@@ -22,6 +22,9 @@ Checked invariants:
   exceeds the largest member clock observation.
 * **Delivery** — delivered finals are at or below the clock of the
   delivering process.
+* **State GC** — the cached delivered-prefix length stays within the
+  live T suffix and only counts delivered entries; the truncation base
+  is never negative.
 """
 
 from __future__ import annotations
@@ -134,6 +137,22 @@ class InvariantMonitor:
                     f"non-increasing proposal in epoch {epoch}: {prev} -> {ts}"
                 )
             last_by_epoch[epoch] = ts
+
+        # State-GC bookkeeping: the delivered-prefix counter stays inside
+        # the live suffix, and the truncation base never runs negative.
+        if proc._t_base < 0:
+            self._fail(f"negative truncation base {proc._t_base}")
+        if not 0 <= proc._t_delivered_prefix <= len(proc.t_list):
+            self._fail(
+                f"delivered prefix {proc._t_delivered_prefix} outside "
+                f"[0, {len(proc.t_list)}]"
+            )
+        for _, multicast, _ in proc.t_list[: proc._t_delivered_prefix]:
+            if multicast.mid not in proc.delivered:
+                self._fail(
+                    f"prefix entry {multicast.mid} counted as delivered "
+                    f"but not in delivered set"
+                )
 
         # What the group can believe about our clock never exceeds it.
         if proc.min_clock(proc.pid) > proc.clock:

@@ -42,7 +42,8 @@ class PropertyViolation(AssertionError):
 
     * ``prop`` — short property name (``"integrity"``,
       ``"uniform-agreement"``, ``"acyclic-order"``, ``"prefix-order"``,
-      ``"timestamp-order"``, or ``"invariant"`` for runtime monitors);
+      ``"timestamp-order"``, ``"truncation-safety"``, or
+      ``"invariant"`` for runtime monitors);
     * ``mids`` — the offending message id(s), possibly empty.
     """
 
@@ -202,6 +203,45 @@ def check_prefix_order(
                             prop="prefix-order",
                             mids=(m, m2),
                         )
+
+
+def check_truncation_safety(
+    truncated: Dict[int, Sequence[MessageId]],
+    logs: Dict[int, DeliveryLog],
+    dest_pids_of: Dict[MessageId, Set[int]],
+    correct_pids: Set[int],
+) -> None:
+    """State GC only discards messages whose delivery is settled.
+
+    ``truncated`` maps each pid to the mids whose T entries that process
+    truncated (the ``"truncate"`` probe events of
+    ``PrimCastProcess.compact_delivered``). Truncation is legal only for
+    the group-stable delivered prefix, so every truncated mid must have
+    been a-delivered (1) at the truncating process itself and (2) — at
+    quiescence — at every correct destination of the message. A
+    violation means the watermark ran ahead of delivery and the GC may
+    have destroyed state the protocol still needed.
+    """
+    delivered_by: Dict[int, Set[MessageId]] = {
+        pid: {mid for mid, _, _ in log} for pid, log in logs.items()
+    }
+    for pid in sorted(truncated):
+        own = delivered_by.get(pid, set())
+        for mid in truncated[pid]:
+            if mid not in own:
+                raise PropertyViolation(
+                    f"process {pid} truncated {mid} without delivering it",
+                    prop="truncation-safety",
+                    mids=(mid,),
+                )
+            for dest in dest_pids_of.get(mid, set()):
+                if dest in correct_pids and mid not in delivered_by.get(dest, set()):
+                    raise PropertyViolation(
+                        f"process {pid} truncated {mid} but correct "
+                        f"destination {dest} never delivered it",
+                        prop="truncation-safety",
+                        mids=(mid,),
+                    )
 
 
 def check_timestamp_order(logs: Dict[int, DeliveryLog]) -> None:

@@ -14,7 +14,8 @@ random from the others.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Any, Dict, List, MutableSequence, Optional, Set, Tuple
 
 from ..core.messages import MessageId, Multicast
 
@@ -33,6 +34,17 @@ class Client:
         outstanding: how many multicasts to keep in flight.
         rng: destination-choice randomness.
         payload: opaque payload attached to every message.
+        sample_limit: when set, ``samples`` becomes a bounded ring of
+            the most recent samples (streaming-stats mode for long runs)
+            while the exact running aggregates below keep counting; None
+            (the default) keeps every sample, exactly as before.
+        measure_from_ms: samples delivered before this simulated time are
+            not recorded (they are still completed/reissued) — lets the
+            streaming mode skip the warmup window without keeping it.
+
+    Running aggregates (exact regardless of ``sample_limit``):
+    ``stat_count`` / ``stat_sum_ms`` / ``stat_min_ms`` / ``stat_max_ms``
+    over every *recorded* sample.
     """
 
     def __init__(
@@ -43,6 +55,8 @@ class Client:
         outstanding: int,
         rng: random.Random,
         payload: Any = None,
+        sample_limit: Optional[int] = None,
+        measure_from_ms: float = 0.0,
     ):
         if not 1 <= n_dest_groups <= n_groups:
             raise ValueError(
@@ -56,7 +70,15 @@ class Client:
         self.outstanding = outstanding
         self.rng = rng
         self.payload = payload
-        self.samples: List[Sample] = []
+        self.sample_limit = sample_limit
+        self.measure_from_ms = measure_from_ms
+        self.samples: MutableSequence[Sample] = (
+            deque(maxlen=sample_limit) if sample_limit is not None else []
+        )
+        self.stat_count = 0
+        self.stat_sum_ms = 0.0
+        self.stat_min_ms = float("inf")
+        self.stat_max_ms = 0.0
         self.issued = 0
         self.completed = 0
         self.stopped = False
@@ -94,7 +116,15 @@ class Client:
         if sent_at is None:
             return
         now = proc.scheduler.now
-        self.samples.append((self.replica.pid, now, now - sent_at))
+        if now >= self.measure_from_ms:
+            lat = now - sent_at
+            self.samples.append((self.replica.pid, now, lat))
+            self.stat_count += 1
+            self.stat_sum_ms += lat
+            if lat < self.stat_min_ms:
+                self.stat_min_ms = lat
+            if lat > self.stat_max_ms:
+                self.stat_max_ms = lat
         self.completed += 1
         self._issue_one()
 
@@ -110,12 +140,23 @@ def make_clients(
     outstanding: int,
     rng: random.Random,
     payload: Any = None,
+    sample_limit: Optional[int] = None,
+    measure_from_ms: float = 0.0,
 ) -> List[Client]:
     """One client per replica, each with its own derived RNG stream."""
     clients = []
     for replica in replicas:
         client_rng = random.Random(rng.getrandbits(64))
         clients.append(
-            Client(replica, n_dest_groups, n_groups, outstanding, client_rng, payload)
+            Client(
+                replica,
+                n_dest_groups,
+                n_groups,
+                outstanding,
+                client_rng,
+                payload,
+                sample_limit=sample_limit,
+                measure_from_ms=measure_from_ms,
+            )
         )
     return clients

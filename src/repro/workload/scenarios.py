@@ -145,6 +145,27 @@ def lan_scenario(n_groups: int = 8, group_size: int = 3) -> Scenario:
     )
 
 
+def lan_sustained(n_groups: int = 2, group_size: int = 3) -> Scenario:
+    """LAN geometry sized for sustained steady-state runs.
+
+    Same latency model and skew bound as :func:`lan_scenario`, but
+    defaulting to a small 2×3 deployment: steady-state memory
+    experiments run roughly 10× longer than a figure load point, and the
+    interesting quantity — per-process state growth vs the state-GC
+    watermark — is independent of group count."""
+    return Scenario(
+        name="LAN - sustained",
+        description=f"{n_groups} groups inside a cluster, sized for "
+        "long steady-state (memory/GC) runs.",
+        n_groups=n_groups,
+        group_size=group_size,
+        cross_group_rtt_ms=LAN_RTT_MS,
+        intra_group_rtt_ms=f"{LAN_RTT_MS}ms",
+        _latency_builder=_LanLatency(),
+        epsilon_ms=0.005,
+    )
+
+
 def wan_colocated_leaders(n_groups: int = 8, group_size: int = 3) -> Scenario:
     """Table 2, row 2: 3 regions, leaders share a region."""
     return Scenario(

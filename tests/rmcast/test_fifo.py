@@ -126,3 +126,36 @@ def test_separate_seq_spaces_per_origin():
     procs[1].r_multicast(Payload("b"), [2])
     sched.run()
     assert len(procs[2].delivered) == 2
+
+
+def test_dedupe_state_is_per_origin_watermark_not_per_message():
+    """The dedupe structure must stay O(origins), not O(messages ever
+    received): per-channel FIFO makes a contiguous high watermark sound,
+    so a long stream from one origin costs one dict entry."""
+    sched, net, procs = build()
+    for i in range(200):
+        procs[0].r_multicast(Payload(i), [1])
+    sched.run()
+    assert len(procs[1].delivered) == 200
+    assert procs[1].rm._dedupe_high == {0: 199}
+    assert procs[1].rm._overflow == {}
+
+
+def test_relay_overflow_drains_behind_direct_watermark():
+    """Relayed-first arrivals park in the sparse overflow set; once the
+    direct copy advances the watermark past them they are dropped from
+    it, so relay-mode dedupe state is bounded by the reorder window."""
+    sched, net, procs = build(relay=True)
+    # Relayed copy of seq 0 arrives first (as if forwarded by 2).
+    env = Envelope(0, 0, Payload("a"), (1, 2), relayed=True)
+    procs[2].send(1, env)
+    sched.run()
+    assert [t for _, t, _ in procs[1].delivered] == ["a"]
+    assert procs[1].rm._overflow == {0: {0}}
+    # The direct copy arrives late: duplicate (not re-delivered), and
+    # the watermark passes seq 0, draining the overflow entry.
+    procs[0].send(1, Envelope(0, 0, Payload("a"), (1, 2)))
+    sched.run()
+    assert [t for _, t, _ in procs[1].delivered] == ["a"]
+    assert procs[1].rm._dedupe_high == {0: 0}
+    assert procs[1].rm._overflow == {}

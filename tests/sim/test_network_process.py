@@ -159,6 +159,36 @@ class TestCrashAndPartition:
         tags = [m.tag for _, m, _ in procs[1].received]
         assert tags == list(range(30))
 
+    def test_overlapping_partitions_keep_pair_blocked(self):
+        """A pair caught in two overlapping partitions must stay blocked
+        until *both* are lifted. With a plain blocked-pairs set, healing
+        the first partition would release the pair's parked messages
+        while the second partition still stands — breaking FIFO for
+        traffic parked behind it. Refcounted blocks keep the park."""
+        sched, net, procs = build(JitteredLatency(5.0, 0.9))
+        net.partition([0], [1])  # first partition blocks (0, 1)
+        net.partition([0], [1, 2])  # overlapping: blocks (0, 1) again
+        for i in range(10):
+            procs[0].send(1, Msg("m", i))  # parked under two blocks
+        net.unblock_pair(0, 1)  # lift the first partition's block only
+        sched.run(until=50.0)
+        assert procs[1].received == []  # second block still stands
+        net.unblock_pair(0, 1)  # lift the second -> parked train flows
+        for i in range(10, 20):
+            procs[0].send(1, Msg("m", i))
+        sched.run()
+        tags = [m.tag for _, m, _ in procs[1].received]
+        assert tags == list(range(20))
+
+    def test_heal_clears_all_block_refcounts(self):
+        sched, net, procs = build()
+        net.partition([0], [1])
+        net.partition([0], [1])  # double-blocked
+        net.heal()  # heal drops every refcount at once
+        procs[0].send(1, Msg())
+        sched.run()
+        assert len(procs[1].received) == 1
+
 
 class TestCpuQueue:
     def test_recv_cost_delays_subsequent_service(self):
