@@ -145,3 +145,107 @@ def test_steady_state_memory_bound():
     assert steady["throughput_ratio"] > 0.999
     assert on["delivered"] == off["delivered"]
     assert on["compaction_runs"] > 0 and on["compaction_freed"] > 0
+
+
+def test_compiled_core_restructuring_speedup():
+    """Compiled-core PR gates, recorded as the ``compiled_core`` section
+    of BENCH_perf.json.
+
+    Two independent bars (DESIGN.md §9):
+
+    * the pure-python restructuring (slotted hot classes, per-pair
+      channel cache, bitmask ack trackers, monomorphic run loop) must be
+      >= 1.2x over the pre-restructuring substrate record — the compiled
+      backend is opt-in, so the interpreter path has to pay for itself;
+    * when the mypyc extensions are built, the compiled backend must be
+      >= 3x over the same record (measured in a REPRO_COMPILED=1
+      subprocess). Without the build toolchain the compiled half is
+      recorded as unavailable — never silently measured as pure python.
+
+    The event-count pin doubles as the determinism guard: both backends
+    execute exactly the seed schedule.
+    """
+    import json
+    import subprocess
+    import sys
+
+    from repro.harness.perf import PRE_RESTRUCTURE_BASELINE
+
+    perf = measure_load_point(
+        protocol="primcast",
+        n_dest_groups=2,
+        outstanding=32,
+        warmup_ms=300.0,
+        measure_ms=400.0,
+        batching_ms=0.0,
+        repeats=5,
+        point=PRE_RESTRUCTURE_BASELINE["point"],
+        compaction_interval_ms=0.0,
+    )
+    assert perf.events == PRE_RESTRUCTURE_BASELINE["events"]
+    pure_ratio = PRE_RESTRUCTURE_BASELINE["wall_s"] / perf.wall_s
+
+    payload = {
+        "restructure_baseline": PRE_RESTRUCTURE_BASELINE,
+        "pure_python": asdict(perf),
+        "pure_python_speedup_vs_prerestructure": round(pure_ratio, 4),
+        "pure_python_speedup_vs_seed": round(speedup_vs_seed(perf), 4),
+    }
+
+    env = dict(os.environ)
+    env["REPRO_COMPILED"] = "1"
+    probe = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import json, repro; print(json.dumps(repro.backend_info()))",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert probe.returncode == 0, probe.stderr
+    compiled_available = json.loads(probe.stdout)["backend"] != "pure-python"
+
+    compiled_ratio = None
+    if compiled_available:
+        run = subprocess.run(
+            [sys.executable, "-m", "repro.harness.perf", "--json", "--repeats", "5"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert run.returncode == 0, run.stdout + run.stderr
+        row = json.loads(run.stdout)
+        assert row["backend"] == "compiled"
+        assert row["events"] == PRE_RESTRUCTURE_BASELINE["events"]
+        compiled_ratio = PRE_RESTRUCTURE_BASELINE["wall_s"] / row["wall_s"]
+        payload["compiled"] = {
+            "status": "measured",
+            "row": row,
+            "speedup_vs_prerestructure": round(compiled_ratio, 4),
+        }
+    else:
+        payload["compiled"] = {
+            "status": "unavailable",
+            "reason": "mypyc build toolchain not installed in this "
+            "environment (REPRO_MYPYC=1 install required)",
+        }
+
+    update_bench("compiled_core", payload)
+    print(
+        f"\ncompiled_core: pure-python {perf.wall_s:.2f}s = "
+        f"{pure_ratio:.2f}x vs pre-restructure "
+        f"{PRE_RESTRUCTURE_BASELINE['wall_s']}s; compiled "
+        + (f"{compiled_ratio:.2f}x" if compiled_ratio else "unavailable")
+    )
+    assert pure_ratio >= 1.2, (
+        f"pure-python restructuring gate: {pure_ratio:.2f}x < 1.2x "
+        f"({perf.wall_s:.2f}s vs pre-restructure "
+        f"{PRE_RESTRUCTURE_BASELINE['wall_s']}s)"
+    )
+    if compiled_ratio is not None:
+        assert compiled_ratio >= 3.0, (
+            f"compiled backend gate: {compiled_ratio:.2f}x < 3x "
+            f"vs pre-restructure {PRE_RESTRUCTURE_BASELINE['wall_s']}s"
+        )

@@ -1,3 +1,45 @@
+"""Build script; opts into the mypyc-compiled hot core.
+
+The default build (``pip install -e .``) is pure python. Setting
+``REPRO_MYPYC=1`` compiles the modules listed in
+``repro._backend.COMPILED_MODULES`` — the simulation substrate and the
+protocol core — with mypyc. The compiled build is optional and purely a
+performance feature: the pure-python source is the golden reference, and
+``REPRO_COMPILED=0`` at runtime forces it even when extensions are
+installed (see ``repro/_backend.py`` and DESIGN.md §9).
+
+A requested compile fails loudly (rather than silently producing a pure
+build) when the mypy toolchain is missing, so CI can never "pass" the
+compiled job without actually compiling.
+"""
+
+import os
+import sys
+
 from setuptools import setup
 
-setup()
+
+def _mypyc_ext_modules():
+    if os.environ.get("REPRO_MYPYC", "0") != "1":
+        return {}
+    try:
+        from mypyc.build import mypycify
+    except ImportError as exc:
+        raise RuntimeError(
+            "REPRO_MYPYC=1 requires the mypy toolchain (pip install mypy); "
+            "unset REPRO_MYPYC for a pure-python install"
+        ) from exc
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+    from repro._backend import COMPILED_MODULES
+
+    paths = [
+        os.path.join("src", name.replace(".", os.sep) + ".py")
+        for name in COMPILED_MODULES
+    ]
+    missing = [p for p in paths if not os.path.isfile(p)]
+    if missing:
+        raise RuntimeError(f"compiled-module sources not found: {missing}")
+    return {"ext_modules": mypycify(paths)}
+
+
+setup(**_mypyc_ext_modules())

@@ -22,6 +22,7 @@ from .config import DEFAULT_CONFIG, AnalysisConfig
 
 # Importing the rule modules populates the registry.
 from . import det_rules as _det_rules  # noqa: F401
+from . import perf_rules as _perf_rules  # noqa: F401
 from . import proto_rules as _proto_rules  # noqa: F401
 
 from .cli import main

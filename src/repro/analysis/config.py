@@ -90,6 +90,26 @@ WIRE_MESSAGE_MODULES: Tuple[str, ...] = (
 #: Instance attributes holding r-deliver dispatch tables (PROTO102).
 DISPATCH_ATTRS: Tuple[str, ...] = ("_r_dispatch",)
 
+#: Modules whose classes must declare ``__slots__`` (PERF001): exactly
+#: the optionally-compiled hot core. Kept as a literal copy of
+#: :data:`repro._backend.COMPILED_MODULES` rather than an import so the
+#: analysis config stays import-light; the self-check test asserts the
+#: two stay in sync.
+PERF_SLOTS_SCOPE: Tuple[str, ...] = (
+    "repro.sim.events",
+    "repro.sim.clock",
+    "repro.sim.costs",
+    "repro.sim.latency",
+    "repro.sim.network",
+    "repro.sim.process",
+    "repro.core.epoch",
+    "repro.core.config",
+    "repro.core.messages",
+    "repro.core.state",
+    "repro.core.gc",
+    "repro.core.process",
+)
+
 #: Conformance map for PROTO103: protocol-state attribute -> modules
 #: allowed to mutate it. Mirrors Algorithms 1–3: every ``clock`` /
 #: ``e_cur`` / ``e_prom`` mutation of the pseudocode is a line of
@@ -123,6 +143,17 @@ DEFAULT_ALLOW: Mapping[str, Tuple[str, ...]] = {
     # fields (Algorithm 3, line 64); that is payload capture, not a
     # mutation of the protocol variables.
     "PROTO103": ("repro.core.messages::EpochPromise.__init__",),
+    # The process lineage must stay dynamic (no __slots__): SimProcess
+    # subclasses (protocols, test doubles) add instance attributes
+    # freely, and the spec recorder / invariant monitor wrap
+    # PrimCastProcess.on_r_deliver as an *instance* attribute — both
+    # require a per-instance dict. Under mypyc they compile with
+    # allow_interpreted_subclasses / native_class=False accordingly
+    # (see repro/_backend.py).
+    "PERF001": (
+        "repro.sim.process::SimProcess",
+        "repro.core.process::PrimCastProcess",
+    ),
 }
 
 
@@ -147,6 +178,7 @@ class AnalysisConfig:
     float_time_names: Tuple[str, ...] = FLOAT_TIME_NAMES
     wire_message_modules: Tuple[str, ...] = WIRE_MESSAGE_MODULES
     dispatch_attrs: Tuple[str, ...] = DISPATCH_ATTRS
+    perf_slots_scope: Tuple[str, ...] = PERF_SLOTS_SCOPE
     state_conformance: Mapping[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(STATE_CONFORMANCE)
     )

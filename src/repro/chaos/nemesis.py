@@ -13,11 +13,11 @@ The nemesis owns the three injection paths:
   (:data:`~repro.core.process.PROBE_EVENTS`), firing at protocol step
   boundaries — first ack quorum, epoch change start — rather than only
   at wall-clock times.
-* **delay spikes** wrap the :meth:`~repro.sim.network.Network.transmit`
-  path: while a rule's window is open, matching ``(src, dst)``
-  departures are shifted by ``extra_ms``. Per-channel FIFO order is
-  preserved by the network's arrival clamp, exactly as a congested TCP
-  link would behave.
+* **delay spikes** install a transmit interceptor (see
+  :meth:`~repro.sim.network.Network.add_transmit_interceptor`): while a
+  rule's window is open, matching ``(src, dst)`` departures are shifted
+  by ``extra_ms``. Per-channel FIFO order is preserved by the network's
+  arrival clamp, exactly as a congested TCP link would behave.
 * **clock skew** perturbs a process's
   :class:`~repro.sim.clock.PhysicalClock` offset (observable only under
   the hybrid-clock variant).
@@ -94,7 +94,6 @@ class Nemesis:
         # probe event name -> [(FaultEvent, _HookState), ...]
         self._hooked: Dict[str, List[Tuple[FaultEvent, _HookState]]] = {}
         self._installed = False
-        self._orig_transmit = network.transmit
 
     # ------------------------------------------------------------------
     # arming
@@ -113,9 +112,10 @@ class Nemesis:
             else:
                 self._arm_skew(event)
         if self._delay_rules:
-            # Wrap the transmit path only when a delay rule exists; the
-            # wrapper costs one window scan per message while installed.
-            self.network.transmit = self._chaos_transmit  # type: ignore[method-assign]
+            # Intercept the transmit path only when a delay rule exists;
+            # the interceptor costs one window scan per message while
+            # installed.
+            self.network.add_transmit_interceptor(self._delay_interceptor)
         if self._hooked:
             for proc in self.processes.values():
                 if isinstance(proc, PrimCastProcess):
@@ -216,10 +216,12 @@ class Nemesis:
                 )
 
     # ------------------------------------------------------------------
-    # transmit wrapping
+    # transmit interception
     # ------------------------------------------------------------------
 
-    def _chaos_transmit(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
+    def _delay_interceptor(
+        self, src: int, dst: int, msg: Any, depart_time: float
+    ) -> float:
         extra = 0.0
         for start, end, rule_src, rule_dst, extra_ms in self._delay_rules:
             if (
@@ -228,4 +230,4 @@ class Nemesis:
                 and (rule_dst < 0 or rule_dst == dst)
             ):
                 extra += extra_ms
-        self._orig_transmit(src, dst, msg, depart_time + extra)
+        return depart_time + extra

@@ -9,7 +9,18 @@ explicitly and are validated for pairwise intersection.
 
 from __future__ import annotations
 
+import sys
 from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+if sys.version_info >= (3, 10):
+
+    def _popcount(mask: int) -> int:
+        return mask.bit_count()
+
+else:  # pragma: no cover - exercised only on 3.9
+
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
 
 
 class GroupConfig:
@@ -20,6 +31,17 @@ class GroupConfig:
         quorum_sets: optional explicit quorum system per group id; when
             omitted, majority quorums are used.
     """
+
+    __slots__ = (
+        "groups",
+        "group_of",
+        "quorum_sets",
+        "_member_sets",
+        "_majority_sizes",
+        "_dest_pids_cache",
+        "_member_bits",
+        "_quorum_masks",
+    )
 
     def __init__(
         self,
@@ -51,6 +73,20 @@ class GroupConfig:
         # protocol fan-out; destination sets repeat constantly, so the
         # sorted-flattened pid list is memoised per destination set.
         self._dest_pids_cache: Dict[FrozenSet[int], List[int]] = {}
+        # Bitmask view of membership for the allocation-free ack
+        # trackers: pid -> single-bit mask of the pid's position within
+        # its group (0 for non-members), plus each explicit quorum as a
+        # mask over the same positions. Majority quorums reduce to a
+        # popcount compare.
+        self._member_bits: List[Dict[int, int]] = [
+            {pid: 1 << i for i, pid in enumerate(g)} for g in self.groups
+        ]
+        self._quorum_masks: Dict[int, List[int]] = {}
+        for gid, quorums in self.quorum_sets.items():
+            bits = self._member_bits[gid]
+            self._quorum_masks[gid] = [
+                sum(bits[pid] for pid in q) for q in quorums
+            ]
 
     def _validate_quorums(self, gid: int, quorums: List[FrozenSet[int]]) -> None:
         if not 0 <= gid < len(self.groups):
@@ -133,6 +169,23 @@ class GroupConfig:
                         return True
             return False
         return any(q <= pid_set for q in quorums)
+
+    def member_bit(self, gid: int, pid: int) -> int:
+        """``pid``'s single-bit position mask within group ``gid``, or 0
+        when the pid is not a member. Masks from different groups are
+        not comparable."""
+        return self._member_bits[gid].get(pid, 0)
+
+    def has_quorum_mask(self, gid: int, mask: int) -> bool:
+        """Mask form of :meth:`has_quorum`: ``mask`` is an OR of
+        :meth:`member_bit` values of group ``gid``."""
+        quorums = self._quorum_masks.get(gid)
+        if quorums is None:
+            return _popcount(mask) >= self._majority_sizes[gid]
+        for qm in quorums:
+            if qm & mask == qm:
+                return True
+        return False
 
     def quorum_clock_value(self, gid: int, min_clocks: Dict[int, int]) -> int:
         """quorum-clock() (Algorithm 1, line 17): the largest ``ts`` such

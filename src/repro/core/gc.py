@@ -43,6 +43,8 @@ class CompactionDaemon:
         freed: total messages whose tracking state was released.
     """
 
+    __slots__ = ("scheduler", "interval_ms", "_procs", "runs", "freed", "_started")
+
     def __init__(
         self,
         scheduler: Scheduler,

@@ -27,6 +27,7 @@ from typing import (
     Type,
 )
 
+from .._backend import mypyc_attr
 from ..election.omega import OmegaOracle
 from ..rmcast.fifo import Envelope, RMcastProcess
 from ..sim.clock import PhysicalClock
@@ -85,8 +86,14 @@ PROBE_EVENTS = ("start", "propose", "ack_quorum", "epoch_change", "deliver", "tr
 TEntry = Tuple[Epoch, Multicast, int]
 
 
+@mypyc_attr(native_class=False)
 class PrimCastProcess(RMcastProcess):
     """A PrimCast group member.
+
+    Compiled as a *non-native* class even under mypyc: it inherits the
+    interpreted :class:`RMcastProcess`, and test/verify layers wrap
+    ``on_r_deliver`` as an instance attribute — both incompatible with
+    a native class's fixed layout.
 
     Args:
         pid: this process's id (must belong to a group in ``config``).
@@ -170,7 +177,12 @@ class PrimCastProcess(RMcastProcess):
 
         # --- M, tracked incrementally ---
         self.started: Dict[MessageId, Multicast] = {}
-        self.acks: Dict[MessageId, Dict[int, AckTracker]] = {}
+        # Ack trackers per message, indexed by destination group id in a
+        # preallocated list (None = no acks from that group yet). A list
+        # of n_groups slots replaces the old per-message dict: indexing
+        # is allocation-free and monomorphic, which matters because
+        # _on_ack consults it for every ack of every message.
+        self.acks: Dict[MessageId, List[Optional[AckTracker]]] = {}
         self.clocks = ClockTracker(self.group_members)
         self.my_acks: Set[Tuple[MessageId, Epoch, int]] = set()
 
@@ -416,16 +428,19 @@ class PrimCastProcess(RMcastProcess):
                 origin = msg.origin
                 seq = msg.seq
                 high = rm._dedupe_high
-                prev = high.get(origin)
-                if prev is not None and seq <= prev:
-                    return
+                try:
+                    if seq <= high[origin]:
+                        return
+                except KeyError:
+                    pass
                 high[origin] = seq
                 payload = msg.payload
-                handler = self._r_dispatch.get(payload.__class__)
-                if handler is not None:
-                    handler(msg.origin, payload)
-                else:
-                    self.on_r_deliver(msg.origin, payload)
+                try:
+                    handler = self._r_dispatch[payload.__class__]
+                except KeyError:
+                    self.on_r_deliver(origin, payload)
+                    return
+                handler(origin, payload)
                 return
         super().on_message(src, msg)
 
@@ -472,7 +487,8 @@ class PrimCastProcess(RMcastProcess):
             return False
         if multicast.mid in self.t_by_mid:
             return False
-        tracker = self.acks.get(multicast.mid, {}).get(self.gid)
+        trackers = self.acks.get(multicast.mid)
+        tracker = trackers[self.gid] if trackers is not None else None
         return tracker is None or tracker.local_ts is None
 
     def _propose(self, multicast: Multicast) -> None:
@@ -515,6 +531,13 @@ class PrimCastProcess(RMcastProcess):
         """Lines 40-45 (own group) and 46-50 (remote group)."""
         multicast = ack.multicast
         mid = multicast.mid
+        # Localize the ack fields once: this handler runs for every ack
+        # of every message (the single most frequent protocol event).
+        group = ack.group
+        epoch = ack.epoch
+        ts = ack.ts
+        sender = ack.sender
+        config = self.config
         # A remote ack doubles as a start tuple (line 47); for own-group
         # acks the multicast object it carries is the same payload, so
         # storing it is equivalent to having r-delivered the start. The
@@ -524,29 +547,40 @@ class PrimCastProcess(RMcastProcess):
         if mid not in started and mid not in self.delivered:
             started[mid] = multicast
         acks = self.acks
-        trackers = acks.get(mid)
-        if trackers is None:
-            trackers = acks[mid] = {}
-        tracker = trackers.get(ack.group)
+        try:
+            trackers = acks[mid]
+        except KeyError:
+            trackers = acks[mid] = [None] * config.n_groups
+        tracker = trackers[group]
         if tracker is None:
-            tracker = trackers[ack.group] = AckTracker()
-        decided_now = tracker.add_ack(
-            self.config, ack.group, ack.epoch, ack.ts, ack.sender, mid
-        )
+            tracker = trackers[group] = AckTracker()
+        decided_now = tracker.add_ack(config, group, epoch, ts, sender, mid)
         changed = False
-        if ack.group == self.gid:
+        if group == self.gid:
             # Group-mate: record its piggybacked delivered-prefix report
             # (the watermark input of compact_delivered).
             rep = ack.dp
             if rep is not None:
-                self._peer_dp[ack.sender] = rep
+                self._peer_dp[sender] = rep
             # Clock value implicitly propagated inside the group (§5.2.4).
-            changed = self.clocks.observe(self.e_cur, ack.epoch, ack.ts, ack.sender)
-            if changed:
-                self._qclock_cache = None
+            # Inlined ClockTracker.observe (the most frequent tracker
+            # update of a run; the tracker method remains the reference
+            # for every other call site).
+            clocks = self.clocks
+            if epoch > self.e_cur:
+                clocks.deferred.append((epoch, ts, sender))
+            else:
+                # sender is a member of our own group here (it stamped
+                # ``group == self.gid`` on its own ack), so its slot
+                # always exists in the tracker's values dict.
+                values = clocks.values
+                if ts > values[sender]:
+                    values[sender] = ts
+                    changed = True
+                    self._qclock_cache = None
             if (
-                ack.sender == ack.epoch.leader
-                and ack.epoch == self.e_cur
+                sender == epoch.leader
+                and epoch == self.e_cur
                 and self.role == FOLLOWER
                 and mid not in self.t_by_mid
                 # Never re-append a delivered (possibly truncated) entry.
@@ -554,14 +588,14 @@ class PrimCastProcess(RMcastProcess):
             ):
                 # Accept the primary's proposal and echo our own ack
                 # (lines 42-45).
-                self._t_append(self.e_cur, multicast, ack.ts)
-                if ack.ts > self.clock:
-                    self.clock = ack.ts
-                self._send_ack(multicast, self.e_cur, ack.ts)
+                self._t_append(self.e_cur, multicast, ts)
+                if ts > self.clock:
+                    self.clock = ts
+                self._send_ack(multicast, self.e_cur, ts)
         else:
             # Remote ack: raise our clock and tell the group (lines 48-50).
-            if ack.ts > self.clock:
-                self.clock = ack.ts
+            if ts > self.clock:
+                self.clock = ts
                 if self.enable_bumps:
                     self.r_multicast(
                         Bump(self.e_prom, self.clock, self.pid, self._dp_report()),
@@ -606,7 +640,7 @@ class PrimCastProcess(RMcastProcess):
             return None
         final = 0
         for gid in multicast.dest:
-            tracker = trackers.get(gid)
+            tracker = trackers[gid]
             if tracker is None:
                 return None
             ts = tracker.decided_ts
@@ -622,7 +656,10 @@ class PrimCastProcess(RMcastProcess):
     def local_ts(self, mid: MessageId, gid: int) -> Optional[int]:
         """Line 9: the decided local timestamp of ``mid`` in group
         ``gid``, or None (⊥)."""
-        tracker = self.acks.get(mid, {}).get(gid)
+        trackers = self.acks.get(mid)
+        if trackers is None or not 0 <= gid < len(trackers):
+            return None
+        tracker = trackers[gid]
         return None if tracker is None else tracker.local_ts
 
     def min_clock(self, pid: int) -> int:
@@ -657,7 +694,7 @@ class PrimCastProcess(RMcastProcess):
         trackers = self.acks.get(mid)
         if trackers is not None:
             for gid in multicast.dest:
-                tracker = trackers.get(gid)
+                tracker = trackers[gid]
                 if tracker is not None:
                     ts = tracker.decided_ts
                     if ts is not None and ts > known_max:
@@ -718,7 +755,7 @@ class PrimCastProcess(RMcastProcess):
             trackers = acks.get(mid)
             if trackers is not None:
                 for gid in started[mid].dest:
-                    tracker = trackers.get(gid)
+                    tracker = trackers[gid]
                     if tracker is not None:
                         ts = tracker.decided_ts
                         if ts is not None and ts > current:

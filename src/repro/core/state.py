@@ -9,9 +9,14 @@ test suite checks the two agree on random traces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import sys
+from typing import Dict, List, Optional, Tuple
 
 from .config import GroupConfig
+
+#: True when ``int.bit_count`` exists (3.10+); the tracker then counts
+#: quorum bits with the C method instead of the ``bin().count`` fallback.
+_HAS_BIT_COUNT = sys.version_info >= (3, 10)
 from .epoch import Epoch
 from .messages import MessageId
 
@@ -28,13 +33,27 @@ class AckTracker:
 
     ``local-ts(m, h)`` (Algorithm 1, line 9) is decided once acks for
     ``m`` from a quorum of ``h``, all from the same epoch, are in M.
+
+    Ack senders are tracked as a bitmask over the group's member
+    positions (:meth:`GroupConfig.member_bit`) rather than a per-epoch
+    set: with one tracker per (message, group) and every member acking
+    every message, set allocation and hashing dominated ``_on_ack``. In
+    the overwhelmingly common case — all acks from one epoch — a tracker
+    is three scalar fields; further epochs (epoch changes mid-message)
+    spill into a lazily created dict. Non-member senders contribute bit
+    0: they can never form a quorum but their timestamp is still
+    recorded for conflict detection, exactly as the set form did.
     """
 
-    __slots__ = ("by_epoch", "decided_epoch", "decided_ts")
+    __slots__ = ("epoch0", "ts0", "mask0", "overflow", "decided_epoch", "decided_ts")
 
     def __init__(self) -> None:
-        # epoch -> (ts, set of acking pids)
-        self.by_epoch: Dict[Epoch, Tuple[int, Set[int]]] = {}
+        # First epoch seen (None = no acks yet), its ts and sender mask.
+        self.epoch0: Optional[Epoch] = None
+        self.ts0 = 0
+        self.mask0 = 0
+        # Rare additional epochs: epoch -> [ts, mask].
+        self.overflow: Optional[Dict[Epoch, List[int]]] = None
         self.decided_epoch: Optional[Epoch] = None
         self.decided_ts: Optional[int] = None
 
@@ -48,31 +67,69 @@ class AckTracker:
         mid: MessageId,
     ) -> bool:
         """Record an ack; returns True if this decided the local ts."""
-        by_epoch = self.by_epoch
         if self.decided_ts is not None:
             # The local ts is already fixed; the common late acks (every
             # group member acks every message) only need the conflict
-            # check — sender-set upkeep cannot change the decision.
-            entry = by_epoch.get(epoch)
-            if entry is not None and entry[0] != ts:
-                raise SafetyViolationError(
-                    f"conflicting ack timestamps for m={mid} in group {group} "
-                    f"epoch {epoch}: {entry[0]} vs {ts}"
-                )
+            # check against epochs already recorded — sender upkeep
+            # cannot change the decision.
+            if epoch == self.epoch0:
+                if self.ts0 != ts:
+                    raise SafetyViolationError(
+                        f"conflicting ack timestamps for m={mid} in group {group} "
+                        f"epoch {epoch}: {self.ts0} vs {ts}"
+                    )
+            elif self.overflow is not None:
+                entry = self.overflow.get(epoch)
+                if entry is not None and entry[0] != ts:
+                    raise SafetyViolationError(
+                        f"conflicting ack timestamps for m={mid} in group {group} "
+                        f"epoch {epoch}: {entry[0]} vs {ts}"
+                    )
             return False
-        entry = by_epoch.get(epoch)
-        if entry is None:
-            senders = {sender}
-            by_epoch[epoch] = (ts, senders)
-        else:
-            if entry[0] != ts:
+        # Inlined config.member_bit / has_quorum_mask: this method runs
+        # once per ack of every run, so the intermediate call frames are
+        # worth the reach into GroupConfig's precomputed tables.
+        bit = config._member_bits[group].get(sender, 0)
+        if self.epoch0 is None:
+            self.epoch0 = epoch
+            self.ts0 = ts
+            mask = self.mask0 = bit
+        elif epoch == self.epoch0:
+            if self.ts0 != ts:
                 raise SafetyViolationError(
                     f"conflicting ack timestamps for m={mid} in group {group} "
-                    f"epoch {epoch}: {entry[0]} vs {ts}"
+                    f"epoch {epoch}: {self.ts0} vs {ts}"
                 )
-            senders = entry[1]
-            senders.add(sender)
-        if config.has_quorum(group, senders):
+            mask = self.mask0 = self.mask0 | bit
+        else:
+            overflow = self.overflow
+            if overflow is None:
+                overflow = self.overflow = {}
+            entry = overflow.get(epoch)
+            if entry is None:
+                overflow[epoch] = [ts, bit]
+                mask = bit
+            else:
+                if entry[0] != ts:
+                    raise SafetyViolationError(
+                        f"conflicting ack timestamps for m={mid} in group {group} "
+                        f"epoch {epoch}: {entry[0]} vs {ts}"
+                    )
+                entry[1] |= bit
+                mask = entry[1]
+        quorums = config._quorum_masks.get(group)
+        if quorums is None:
+            if _HAS_BIT_COUNT:
+                decided = mask.bit_count() >= config._majority_sizes[group]
+            else:  # pragma: no cover - exercised only on 3.9
+                decided = bin(mask).count("1") >= config._majority_sizes[group]
+        else:
+            decided = False
+            for qm in quorums:
+                if qm & mask == qm:
+                    decided = True
+                    break
+        if decided:
             self.decided_epoch = epoch
             self.decided_ts = ts
             return True

@@ -1,0 +1,215 @@
+"""Differential testing of the compiled backend against pure python.
+
+The pure-python source is the golden reference for the optionally
+mypyc-compiled hot core (see ``repro/_backend.py`` and DESIGN.md §9).
+This harness is the enforcement: it runs every golden scenario of
+``tests/harness/test_determinism_golden.py`` once under each backend —
+in separate subprocesses, so the ``REPRO_COMPILED`` import-time switch
+takes effect — and requires the results to be **bit-identical**:
+throughput, the latency distribution, per-kind message counts, the
+exact executed-event total and the ``repr`` checksum of every latency
+sample must match to the last bit.
+
+When the compiled extensions are not installed, the "compiled"
+subprocess silently falls back to source (by design — see
+``repro._backend``); the harness detects this via ``backend_info()``
+and reports the comparison as *skipped* rather than passing vacuously.
+``--require-compiled`` turns that skip into a failure, which is what
+the CI ``compiled`` job uses so it can never go green without actually
+exercising the native modules.
+
+CLI::
+
+    python -m repro.harness.differential [--require-compiled] [--scenario NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: The golden load point: every scenario uses the parameters pinned by
+#: tests/harness/test_determinism_golden.py (batching off, compaction
+#: daemon off so the schedule is the seed schedule, event-for-event).
+SCENARIOS: Tuple[str, ...] = ("primcast", "primcast-hc", "whitebox", "fastcast")
+
+
+def run_scenario(protocol: str) -> Dict[str, Any]:
+    """Run one golden scenario in-process; return its full fingerprint.
+
+    The fingerprint pins everything the golden suite pins: any backend
+    divergence in event order, RNG consumption or float arithmetic
+    shows up in at least one field.
+    """
+    from ..workload.scenarios import wan_colocated_leaders
+    from .runner import run_load_point
+
+    result = run_load_point(
+        protocol,
+        wan_colocated_leaders(),
+        2,
+        4,
+        seed=1,
+        warmup_ms=200.0,
+        measure_ms=300.0,
+        keep_samples=True,
+        compaction_interval_ms=0.0,
+    )
+    return {
+        "protocol": protocol,
+        "throughput": result.throughput,
+        "latency": result.latency,
+        "message_counts": dict(result.message_counts),
+        "events": result.events,
+        # repr() round-trips floats exactly; a one-ulp divergence in any
+        # single sample changes the checksum.
+        "sample_checksum": repr(sum(lat for _, _, lat in result.samples)),
+    }
+
+
+def _worker_main(protocol: str) -> None:
+    """Subprocess entry: emit the fingerprint plus backend info as JSON."""
+    import repro
+
+    payload = {
+        "backend_info": repro.backend_info(),
+        "fingerprint": run_scenario(protocol),
+    }
+    json.dump(payload, sys.stdout)
+
+
+def run_backend(protocol: str, compiled: bool) -> Dict[str, Any]:
+    """Run one scenario in a fresh subprocess under the given backend.
+
+    Returns the worker's JSON payload: ``{"backend_info": ...,
+    "fingerprint": ...}``. Raises ``RuntimeError`` when the worker
+    fails.
+    """
+    env = dict(os.environ)
+    env["REPRO_COMPILED"] = "1" if compiled else "0"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.harness.differential", "--worker", protocol],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"differential worker failed (protocol={protocol}, "
+            f"compiled={compiled}):\n{proc.stdout}{proc.stderr}"
+        )
+    result: Dict[str, Any] = json.loads(proc.stdout)
+    return result
+
+
+def diff_fingerprints(
+    reference: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[str]:
+    """Field-by-field comparison; returns human-readable mismatches."""
+    mismatches: List[str] = []
+    for key in sorted(set(reference) | set(candidate)):
+        ref, cand = reference.get(key), candidate.get(key)
+        if ref != cand:
+            mismatches.append(f"{key}: reference={ref!r} candidate={cand!r}")
+    return mismatches
+
+
+def run_differential(
+    scenarios: Sequence[str] = SCENARIOS,
+) -> Dict[str, Any]:
+    """Compare every scenario across backends.
+
+    Returns a report dict::
+
+        {"compiled_available": bool,
+         "scenarios": {name: {"status": "identical" | "skipped" | "mismatch",
+                              "mismatches": [...]}}}
+
+    A ``"mixed"`` backend (partial build) is treated as compiled so a
+    broken install surfaces as a mismatch or a crash, never as a skip.
+    """
+    report: Dict[str, Any] = {"compiled_available": False, "scenarios": {}}
+    for name in scenarios:
+        ref = run_backend(name, compiled=False)
+        cand = run_backend(name, compiled=True)
+        ref_backend = ref["backend_info"]["backend"]
+        cand_backend = cand["backend_info"]["backend"]
+        if ref_backend != "pure-python":
+            raise RuntimeError(
+                f"reference run used backend {ref_backend!r}; the "
+                "REPRO_COMPILED=0 escape hatch is broken"
+            )
+        if cand_backend == "pure-python":
+            report["scenarios"][name] = {
+                "status": "skipped",
+                "mismatches": [],
+                "reason": "compiled extensions not installed",
+            }
+            continue
+        report["compiled_available"] = True
+        mismatches = diff_fingerprints(ref["fingerprint"], cand["fingerprint"])
+        report["scenarios"][name] = {
+            "status": "identical" if not mismatches else "mismatch",
+            "mismatches": mismatches,
+        }
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.differential",
+        description="compare the compiled backend against the pure-python "
+        "golden reference, scenario by scenario, bit for bit",
+    )
+    parser.add_argument(
+        "--worker",
+        metavar="PROTOCOL",
+        help="internal: run one scenario in-process and print JSON",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=SCENARIOS,
+        help="restrict to one scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--require-compiled",
+        action="store_true",
+        help="fail (exit 2) when the compiled backend is unavailable "
+        "instead of skipping",
+    )
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        _worker_main(args.worker)
+        return 0
+
+    report = run_differential(args.scenario or SCENARIOS)
+    failed = False
+    for name, entry in report["scenarios"].items():
+        line = f"{name}: {entry['status']}"
+        if entry["status"] == "skipped":
+            line += f" ({entry['reason']})"
+        print(line)
+        for mismatch in entry["mismatches"]:
+            failed = True
+            print(f"  {mismatch}")
+    if failed:
+        print("FAIL: compiled backend diverges from the pure-python reference")
+        return 1
+    if not report["compiled_available"]:
+        if args.require_compiled:
+            print("FAIL: compiled backend required but not installed")
+            return 2
+        print("compiled backend not installed; nothing compared")
+    else:
+        print("OK: compiled backend is bit-identical on all scenarios")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,18 @@ SEED_BASELINE = {
     "events": 660110,
 }
 
+#: The ``substrate`` record as it stood immediately before the
+#: compiled-core restructuring PR (slotted hot classes, per-pair channel
+#: cache, bitmask ack trackers, monomorphic scheduler loop): best-of-3
+#: wall seconds on the same smoke point. The ``compiled_core`` bench
+#: gates the restructuring's *own* win against this, separately from the
+#: cumulative :data:`SEED_BASELINE` speedup.
+PRE_RESTRUCTURE_BASELINE = {
+    "point": "fig3-wan-colocated-d2-o32",
+    "wall_s": 4.543,
+    "events": 660110,
+}
+
 
 @dataclass
 class PerfPoint:
@@ -450,3 +462,167 @@ def update_bench(key: str, payload: Any, path: Optional[Path] = None) -> Path:
     record["seed_baseline"] = SEED_BASELINE
     target.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return target
+
+
+# ----------------------------------------------------------------------
+# perf history: timestamped measurements across revisions
+# ----------------------------------------------------------------------
+
+#: Append-only measurement log at the repository root, one JSON object
+#: per line. BENCH_perf.json holds the *current* numbers per section;
+#: the history holds every ``--append-history`` run ever taken, so the
+#: trajectory table in EXPERIMENTS.md regenerates from raw data.
+BENCH_HISTORY_PATH = Path(__file__).resolve().parents[3] / "BENCH_history.jsonl"
+
+EXPERIMENTS_PATH = Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
+
+#: Markers delimiting the auto-generated history table in EXPERIMENTS.md.
+HISTORY_BEGIN = "<!-- BENCH_HISTORY:BEGIN (generated by repro.harness.perf --append-history; do not edit by hand) -->"
+HISTORY_END = "<!-- BENCH_HISTORY:END -->"
+
+
+def measure_history_row(repeats: int = 3, note: str = "") -> Dict[str, Any]:
+    """Measure the standard smoke point for the history log.
+
+    Compaction is off so the event count pins the seed schedule
+    (660,110 events) and wall times stay comparable across every row.
+    """
+    from .._backend import backend_info
+
+    from datetime import datetime, timezone
+
+    perf = measure_load_point(repeats=repeats, compaction_interval_ms=0.0)
+    return {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "point": perf.point,
+        "wall_s": round(perf.wall_s, 4),
+        "walls_s": perf.walls_s,
+        "events": perf.events,
+        "events_per_sec": round(perf.events_per_sec, 1),
+        "speedup_vs_seed": round(speedup_vs_seed(perf), 4),
+        "backend": backend_info()["backend"],
+        "note": note,
+    }
+
+
+def append_history(row: Dict[str, Any], path: Optional[Path] = None) -> Path:
+    """Append one measurement row to ``BENCH_history.jsonl``."""
+    target = Path(path) if path is not None else BENCH_HISTORY_PATH
+    with target.open("a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return target
+
+
+def read_history(path: Optional[Path] = None) -> list:
+    """All history rows, oldest first (empty when no log exists)."""
+    target = Path(path) if path is not None else BENCH_HISTORY_PATH
+    if not target.exists():
+        return []
+    rows = []
+    for line in target.read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def history_table(rows: list) -> str:
+    """Markdown trajectory table over the history rows."""
+    lines = [
+        "| When (UTC) | backend | wall (s) | events/s | speedup vs seed | note |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            "| {timestamp} | {backend} | {wall_s:.3f} | {eps:,.0f} | {speedup:.2f}x | {note} |".format(
+                timestamp=row.get("timestamp", "?"),
+                backend=row.get("backend", "?"),
+                wall_s=row.get("wall_s", 0.0),
+                eps=row.get("events_per_sec", 0.0),
+                speedup=row.get("speedup_vs_seed", 0.0),
+                note=row.get("note", "") or "—",
+            )
+        )
+    return "\n".join(lines)
+
+
+def update_experiments_history(
+    rows: list, path: Optional[Path] = None
+) -> Path:
+    """Rewrite the marker-delimited history table in EXPERIMENTS.md.
+
+    The table lives between :data:`HISTORY_BEGIN` and
+    :data:`HISTORY_END`; everything outside the markers is untouched.
+    Raises when the markers are missing — the surrounding prose is
+    hand-written and this function must never guess where to put the
+    table.
+    """
+    target = Path(path) if path is not None else EXPERIMENTS_PATH
+    text = target.read_text()
+    begin = text.index(HISTORY_BEGIN)
+    end = text.index(HISTORY_END)
+    if end < begin:
+        raise ValueError("BENCH_HISTORY markers are out of order")
+    new = (
+        text[: begin + len(HISTORY_BEGIN)]
+        + "\n"
+        + history_table(rows)
+        + "\n"
+        + text[end:]
+    )
+    target.write_text(new)
+    return target
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI: measure the smoke point; optionally log it to the history.
+
+    ``python -m repro.harness.perf`` prints one measurement.
+    ``--append-history`` additionally appends a timestamped row to
+    ``BENCH_history.jsonl`` and regenerates the trajectory table in
+    EXPERIMENTS.md from the full log.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.perf",
+        description="wall-clock perf of the simulation substrate on the "
+        "standard smoke point (see BENCH_perf.json / EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N repeats (default 3)"
+    )
+    parser.add_argument(
+        "--note", default="", help="free-text label recorded with the row"
+    )
+    parser.add_argument(
+        "--append-history",
+        action="store_true",
+        help="append the row to BENCH_history.jsonl and regenerate the "
+        "EXPERIMENTS.md trajectory table",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the row as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    row = measure_history_row(repeats=args.repeats, note=args.note)
+    if args.json:
+        print(json.dumps(row, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{row['point']}: {row['wall_s']:.3f}s best-of-{args.repeats} "
+            f"({row['events']} events, {row['events_per_sec']:,.0f} ev/s, "
+            f"{row['speedup_vs_seed']:.2f}x vs seed, {row['backend']})"
+        )
+    if args.append_history:
+        path = append_history(row)
+        update_experiments_history(read_history())
+        print(f"appended to {path.name}; EXPERIMENTS.md table regenerated")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main())

@@ -30,7 +30,11 @@ class PhysicalClock:
         drift_ppm: clock drift in parts-per-million (0 = perfect rate).
     """
 
-    def __init__(self, scheduler: Scheduler, offset_us: float = 0.0, drift_ppm: float = 0.0):
+    __slots__ = ("scheduler", "offset_us", "drift_ppm")
+
+    def __init__(
+        self, scheduler: Scheduler, offset_us: float = 0.0, drift_ppm: float = 0.0
+    ) -> None:
         self.scheduler = scheduler
         self.offset_us = offset_us
         self.drift_ppm = drift_ppm
@@ -57,7 +61,7 @@ def make_clocks(
     """
     if epsilon_ms < 0:
         raise ValueError("epsilon must be non-negative")
-    clocks = {}
+    clocks: Dict[int, PhysicalClock] = {}
     for pid in pids:
         offset_us = rng.uniform(-epsilon_ms, epsilon_ms) * US_PER_MS
         clocks[pid] = PhysicalClock(scheduler, offset_us, drift_ppm)

@@ -30,15 +30,17 @@ class CostModel:
         default_send: send cost for kinds not listed.
     """
 
+    __slots__ = ("recv_costs", "send_costs", "default_recv", "default_send")
+
     def __init__(
         self,
         recv_costs: Optional[Dict[str, float]] = None,
         send_costs: Optional[Dict[str, float]] = None,
         default_recv: float = 0.0,
         default_send: float = 0.0,
-    ):
-        self.recv_costs = dict(recv_costs or {})
-        self.send_costs = dict(send_costs or {})
+    ) -> None:
+        self.recv_costs: Dict[str, float] = dict(recv_costs or {})
+        self.send_costs: Dict[str, float] = dict(send_costs or {})
         self.default_recv = default_recv
         self.default_send = default_send
 

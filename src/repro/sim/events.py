@@ -51,9 +51,9 @@ class EventHandle:
         time: float,
         seq: int,
         fn: Callable[..., Any],
-        args: tuple,
+        args: Tuple[Any, ...],
         scheduler: "Scheduler",
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -83,6 +83,8 @@ class Scheduler:
         sched.run(until=100.0)
     """
 
+    __slots__ = ("now", "events_processed", "_seq", "_heap", "_cancelled", "_stopped")
+
     def __init__(self) -> None:
         #: Current simulated time in milliseconds (read-only for users).
         self.now = 0.0
@@ -97,7 +99,9 @@ class Scheduler:
     # scheduling
     # ------------------------------------------------------------------
 
-    def schedule(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> None:
+    def schedule(
+        self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()
+    ) -> None:
         """Fast path: schedule ``fn(*args)`` at ``time`` with no handle.
 
         Events scheduled this way cannot be cancelled; the hot loops
@@ -186,6 +190,7 @@ class Scheduler:
         executed = 0
         heap = self._heap
         heappop = heapq.heappop
+        heappush = heapq.heappush
         time_limit = inf if until is None else until
         event_limit = inf if max_events is None else max_events
         # The event loop allocates millions of short-lived heap-entry
@@ -200,22 +205,29 @@ class Scheduler:
         # events_processed on exit (the attribute is only consulted
         # between runs); the finally covers handlers that raise.
         try:
+            # Pop-first loop: popping unconditionally and pushing back the
+            # (at most one) over-limit entry avoids a peek + re-index of
+            # the tuple on every iteration of the hot path.
             while heap and not self._stopped:
-                entry = heap[0]
-                fn = entry[2]
-                if fn is None and entry[3].cancelled:
-                    heappop(heap)
-                    self._cancelled -= 1
-                    continue
-                if entry[0] > time_limit or executed >= event_limit:
+                if executed >= event_limit:
                     break
-                heappop(heap)
-                self.now = entry[0]
+                entry = heappop(heap)
+                time, _, fn, payload = entry
                 if fn is None:
-                    handle = entry[3]
-                    handle.fn(*handle.args)
+                    if payload.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    if time > time_limit:
+                        heappush(heap, entry)
+                        break
+                    self.now = time
+                    payload.fn(*payload.args)
                 else:
-                    fn(*entry[3])
+                    if time > time_limit:
+                        heappush(heap, entry)
+                        break
+                    self.now = time
+                    fn(*payload)
                 executed += 1
         finally:
             self.events_processed += executed

@@ -31,7 +31,7 @@ class FailureInjector:
         processes: pid → process map (e.g. ``network.processes``).
     """
 
-    def __init__(self, scheduler: Scheduler, processes: Dict[int, SimProcess]):
+    def __init__(self, scheduler: Scheduler, processes: Dict[int, SimProcess]) -> None:
         self.scheduler = scheduler
         self.processes = processes
         #: pids whose crash has *executed*, in execution order. With a

@@ -5,16 +5,34 @@ delay in milliseconds, optionally with jitter. The paper's deployments
 (Table 2) are expressed as RTT matrices between *sites* with a 5% standard
 deviation; :class:`SiteMatrixLatency` reproduces that. All models return
 **one-way** latency (half the RTT).
+
+For the hot transmit path the network asks once per directed pair for
+:meth:`LatencyModel.pair_params` — the ``(mean, stddev, floor)`` triple
+behind :meth:`LatencyModel.sample` — and then draws the truncated-normal
+sample inline with **exactly** the arithmetic and RNG consumption of
+``sample()``: one ``rng.gauss(mean, stddev)`` call iff ``stddev != 0``,
+clamped below at ``floor``. Models that cannot express their delay this
+way return ``None`` and the network falls back to calling ``sample()``
+per message.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._backend import mypyc_attr
+
+#: The per-pair sampling recipe: (mean_ms, stddev_ms, floor_ms). A zero
+#: stddev means the delay is exactly the mean and no randomness is drawn.
+PairParams = Tuple[float, float, float]
 
 
+@mypyc_attr(allow_interpreted_subclasses=True)
 class LatencyModel:
     """Base class for one-way latency models."""
+
+    __slots__ = ()
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         """Return a one-way latency in ms for a message from src to dst."""
@@ -24,6 +42,14 @@ class LatencyModel:
         """Return the mean one-way latency in ms (no jitter)."""
         raise NotImplementedError
 
+    def pair_params(self, src: int, dst: int) -> Optional[PairParams]:
+        """``(mean, stddev, floor)`` such that drawing
+        ``rng.gauss(mean, stddev)`` (iff ``stddev != 0``) clamped at
+        ``floor`` is bit-identical to :meth:`sample` for this pair, or
+        ``None`` when the model cannot be expressed this way (the
+        network then calls ``sample()`` per message)."""
+        return None
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay_ms`` (one communication step).
@@ -32,7 +58,9 @@ class ConstantLatency(LatencyModel):
     be an exact multiple of the communication step.
     """
 
-    def __init__(self, delay_ms: float = 1.0):
+    __slots__ = ("delay_ms",)
+
+    def __init__(self, delay_ms: float = 1.0) -> None:
         if delay_ms < 0:
             raise ValueError("delay must be non-negative")
         self.delay_ms = delay_ms
@@ -42,6 +70,9 @@ class ConstantLatency(LatencyModel):
 
     def mean(self, src: int, dst: int) -> float:
         return self.delay_ms
+
+    def pair_params(self, src: int, dst: int) -> Optional[PairParams]:
+        return (self.delay_ms, 0.0, 0.0)
 
     def __repr__(self) -> str:
         return f"ConstantLatency({self.delay_ms}ms)"
@@ -55,7 +86,9 @@ class JitteredLatency(LatencyModel):
     jitter can never produce a negative or implausibly small delay.
     """
 
-    def __init__(self, mean_ms: float, stddev_frac: float = 0.05):
+    __slots__ = ("mean_ms", "stddev_frac")
+
+    def __init__(self, mean_ms: float, stddev_frac: float = 0.05) -> None:
         if mean_ms < 0:
             raise ValueError("mean must be non-negative")
         if stddev_frac < 0:
@@ -72,6 +105,12 @@ class JitteredLatency(LatencyModel):
 
     def mean(self, src: int, dst: int) -> float:
         return self.mean_ms
+
+    def pair_params(self, src: int, dst: int) -> Optional[PairParams]:
+        mean = self.mean_ms
+        if mean == 0 or self.stddev_frac == 0:
+            return (mean, 0.0, 0.0)
+        return (mean, mean * self.stddev_frac, 0.1 * mean)
 
     def __repr__(self) -> str:
         return f"JitteredLatency({self.mean_ms}ms ±{self.stddev_frac:.0%})"
@@ -91,12 +130,14 @@ class SiteMatrixLatency(LatencyModel):
     One-way latency is half the RTT, with truncated-normal jitter.
     """
 
+    __slots__ = ("site_of", "rtt_ms", "stddev_frac", "_pair_cache")
+
     def __init__(
         self,
         site_of: Dict[int, int],
         rtt_ms: Sequence[Sequence[float]],
         stddev_frac: float = 0.05,
-    ):
+    ) -> None:
         n = len(rtt_ms)
         for row in rtt_ms:
             if len(row) != n:
@@ -114,25 +155,34 @@ class SiteMatrixLatency(LatencyModel):
         self.rtt_ms: List[List[float]] = [list(row) for row in rtt_ms]
         self.stddev_frac = stddev_frac
         # (src, dst) -> (mean, stddev, floor), filled on first use. The
-        # pair space is tiny (n_processes²) and sample() runs once per
-        # wire message, so the two dict lookups + division are worth
-        # caching away.
-        self._pair_cache: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        # pair space is tiny (n_processes²) and each entry is consulted
+        # once per wire message (or once per pair via pair_params), so
+        # the two dict lookups + division are worth caching away.
+        self._pair_cache: Dict[Tuple[int, int], PairParams] = {}
 
     def mean(self, src: int, dst: int) -> float:
         return self.rtt_ms[self.site_of[src]][self.site_of[dst]] / 2.0
 
-    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+    def _params(self, src: int, dst: int) -> PairParams:
         entry = self._pair_cache.get((src, dst))
         if entry is None:
             mean = self.rtt_ms[self.site_of[src]][self.site_of[dst]] / 2.0
             entry = (mean, mean * self.stddev_frac, 0.1 * mean)
             self._pair_cache[(src, dst)] = entry
-        mean, stddev, floor = entry
+        return entry
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        mean, stddev, floor = self._params(src, dst)
         if mean == 0 or stddev == 0:
             return mean
         value = rng.gauss(mean, stddev)
         return value if value > floor else floor
+
+    def pair_params(self, src: int, dst: int) -> Optional[PairParams]:
+        mean, stddev, floor = self._params(src, dst)
+        if mean == 0 or stddev == 0:
+            return (mean, 0.0, 0.0)
+        return (mean, stddev, floor)
 
     def __repr__(self) -> str:
         n_sites = len(self.rtt_ms)

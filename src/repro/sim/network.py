@@ -6,6 +6,16 @@ send order even when sampled latencies would reorder them. Channels never
 create, corrupt or duplicate messages. A crashed process neither sends
 nor receives.
 
+The transport keeps one :class:`_Channel` object per directed pair,
+created lazily on first use. A channel caches everything the hot path
+needs — the receiver's enqueue callback, the latency model's
+``(mean, stddev, floor)`` sampling recipe and the FIFO arrival clamp —
+so delivering a message costs one dict lookup instead of four (receiver,
+latency cache, arrival clamp read, arrival clamp write). The inline
+sampling consumes the RNG and performs float arithmetic **exactly** as
+``LatencyModel.sample`` does, so the event schedule is bit-identical to
+the per-call form (pinned by the golden determinism suite).
+
 The network also hosts the observability hooks used by the evaluation
 harness and the verification layer:
 
@@ -14,6 +24,10 @@ harness and the verification layer:
 * ``trace_hooks`` — callbacks invoked on every send, used by the
   genuineness checker to assert that only the sender and destinations of
   a multicast exchange messages for it.
+* ``add_transmit_interceptor`` — callbacks that may delay or swallow a
+  departure (fault injection, flight recording). Replaces the historical
+  pattern of assigning over ``network.transmit`` on the instance, which
+  a slotted (or compiled) Network cannot support.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from heapq import heappush
+from math import inf
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from .events import Scheduler
@@ -31,10 +46,49 @@ if TYPE_CHECKING:  # pragma: no cover
 
 TraceHook = Callable[[int, int, Any, float], None]
 
+#: An interceptor sees every departure before the transport does. It
+#: returns the (possibly adjusted) departure time to let the message
+#: proceed, or ``None`` to swallow it entirely (the interceptor then owns
+#: re-injection, if any). Interceptors run in installation order.
+TransmitInterceptor = Callable[[int, int, Any, float], Optional[float]]
+
 #: Minimum spacing between two deliveries on one channel, used to preserve
 #: FIFO order when jitter would reorder messages (models TCP in-order
 #: delivery on one connection).
 _FIFO_EPSILON = 1e-9
+
+#: Directed pairs are keyed as ``src * _PID_STRIDE + dst`` — an int key
+#: hashes faster than a tuple and allocates nothing. Pids must stay below
+#: the stride (enforced at channel creation).
+_PID_STRIDE = 1 << 20
+
+
+class _Channel:
+    """Cached hot-path state of one directed ``(src, dst)`` pair."""
+
+    __slots__ = ("enqueue", "mean", "stddev", "floor", "last", "is_self", "direct")
+
+    def __init__(
+        self,
+        enqueue: Callable[[int, Any], None],
+        is_self: bool,
+        direct: bool,
+        mean: float,
+        stddev: float,
+        floor: float,
+    ) -> None:
+        #: the receiver's (pre-bound) enqueue_message callback
+        self.enqueue = enqueue
+        #: src == dst: zero latency, no FIFO clamp (not a wire)
+        self.is_self = is_self
+        #: latency params known — sample inline; else fall back to
+        #: ``latency.sample`` per message (custom models)
+        self.direct = direct
+        self.mean = mean
+        self.stddev = stddev
+        self.floor = floor
+        #: arrival time of the last message on this channel (FIFO clamp)
+        self.last = -inf
 
 
 class Network:
@@ -47,15 +101,37 @@ class Network:
             :func:`repro.sim.rng.child_rng` for determinism).
     """
 
-    def __init__(self, scheduler: Scheduler, latency: LatencyModel, rng: random.Random):
+    __slots__ = (
+        "scheduler",
+        "latency",
+        "rng",
+        "processes",
+        "counts_by_kind",
+        "messages_sent",
+        "trace_hooks",
+        "_interceptors",
+        "_channels",
+        "_blocked_pairs",
+        "_parked",
+        "_gauss",
+    )
+
+    def __init__(
+        self, scheduler: Scheduler, latency: LatencyModel, rng: random.Random
+    ) -> None:
         self.scheduler = scheduler
         self.latency = latency
         self.rng = rng
+        # Bound once: the jitter draw happens for nearly every wire
+        # message, and ``self.rng.gauss`` re-binds the method each time.
+        self._gauss = rng.gauss
         self.processes: Dict[int, "SimProcess"] = {}
-        self.counts_by_kind: Counter = Counter()
+        self.counts_by_kind: "Counter[str]" = Counter()
         self.messages_sent = 0
         self.trace_hooks: List[TraceHook] = []
-        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._interceptors: List[TransmitInterceptor] = []
+        # Directed pair -> channel, keyed by src * _PID_STRIDE + dst.
+        self._channels: Dict[int, _Channel] = {}
         # Directed pair -> number of active blocks. Refcounting (rather
         # than a plain set) makes overlapping partitions compose: a pair
         # blocked by two partitions stays blocked until *both* are
@@ -77,6 +153,19 @@ class Network:
     def add_trace_hook(self, hook: TraceHook) -> None:
         """Register ``hook(src, dst, msg, depart_time)`` on every send."""
         self.trace_hooks.append(hook)
+
+    def add_transmit_interceptor(self, interceptor: TransmitInterceptor) -> None:
+        """Register an interceptor on the transmit path (see
+        :data:`TransmitInterceptor`). Used by the chaos nemesis (delay
+        spikes) and the flight recorder."""
+        self._interceptors.append(interceptor)
+
+    def remove_transmit_interceptor(self, interceptor: TransmitInterceptor) -> None:
+        """Remove a previously installed interceptor (no-op if absent)."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # fault injection
@@ -131,6 +220,28 @@ class Network:
     # transport
     # ------------------------------------------------------------------
 
+    def _channel(self, src: int, dst: int, key: int) -> _Channel:
+        """Build (and cache) the channel for one directed pair."""
+        receiver = self.processes.get(dst)
+        if receiver is None:
+            raise KeyError(f"unknown destination pid {dst}")
+        if not (0 <= src < _PID_STRIDE and 0 <= dst < _PID_STRIDE):
+            raise ValueError(
+                f"pids must be in [0, {_PID_STRIDE}) for channel keying, "
+                f"got ({src}, {dst})"
+            )
+        if src == dst:
+            ch = _Channel(receiver._enqueue_cb, True, False, 0.0, 0.0, 0.0)
+        else:
+            params = self.latency.pair_params(src, dst)
+            if params is None:
+                ch = _Channel(receiver._enqueue_cb, False, False, 0.0, 0.0, 0.0)
+            else:
+                mean, stddev, floor = params
+                ch = _Channel(receiver._enqueue_cb, False, True, mean, stddev, floor)
+        self._channels[key] = ch
+        return ch
+
     def transmit(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
         """Send ``msg`` from src to dst, departing at ``depart_time``.
 
@@ -141,9 +252,16 @@ class Network:
 
         This is the hottest function of the substrate: every wire message
         of every protocol passes through it once. The body is the fast
-        path — trace hooks and fault injection only cost when actually in
-        use, and delivery is inlined rather than delegated.
+        path — interceptors, trace hooks and fault injection only cost
+        when actually in use, and delivery is inlined rather than
+        delegated.
         """
+        if self._interceptors:
+            for interceptor in self._interceptors:
+                adjusted = interceptor(src, dst, msg, depart_time)
+                if adjusted is None:
+                    return
+                depart_time = adjusted
         self.messages_sent += 1
         # All wire message classes carry a class-level ``kind`` (asserted
         # by the core/messages test suite); the try/except only triggers
@@ -162,41 +280,55 @@ class Network:
             self._parked.append((src, dst, msg))
             return
 
-        # Inlined delivery (see _deliver for the slow-path twin).
-        receiver = self.processes.get(dst)
-        if receiver is None:
-            raise KeyError(f"unknown destination pid {dst}")
-        if src == dst:
+        try:
+            ch = self._channels[src * _PID_STRIDE + dst]
+        except KeyError:
+            ch = self._channel(src, dst, src * _PID_STRIDE + dst)
+        if ch.is_self:
             arrival = depart_time
         else:
-            arrival = depart_time + self.latency.sample(src, dst, self.rng)
+            if ch.direct:
+                # Inlined LatencyModel.sample: same RNG consumption, same
+                # float arithmetic (see latency.pair_params).
+                stddev = ch.stddev
+                if stddev != 0.0:
+                    value = self._gauss(ch.mean, stddev)
+                    floor = ch.floor
+                    arrival = depart_time + (value if value > floor else floor)
+                else:
+                    arrival = depart_time + ch.mean
+            else:
+                arrival = depart_time + self.latency.sample(src, dst, self.rng)
             # Enforce per-channel FIFO (TCP-like): never deliver before a
             # previously sent message on the same channel.
-            pair = (src, dst)
-            last = self._last_arrival
-            prev = last.get(pair)
-            if prev is not None and arrival <= prev:
-                arrival = prev + _FIFO_EPSILON
-            last[pair] = arrival
+            if arrival <= ch.last:
+                arrival = ch.last + _FIFO_EPSILON
+            ch.last = arrival
         # Equivalent to scheduler.schedule(...) with the past-check
         # elided: arrival >= depart_time >= now by construction.
         sched = self.scheduler
-        heappush(sched._heap, (arrival, sched._seq, receiver.enqueue_message, (src, msg)))
+        heappush(sched._heap, (arrival, sched._seq, ch.enqueue, (src, msg)))
         sched._seq += 1
 
     def _deliver(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
         """Slow-path delivery, used when parked traffic is released."""
-        receiver = self.processes.get(dst)
-        if receiver is None:
-            raise KeyError(f"unknown destination pid {dst}")
-        if src == dst:
+        ch = self._channels.get(src * _PID_STRIDE + dst)
+        if ch is None:
+            ch = self._channel(src, dst, src * _PID_STRIDE + dst)
+        if ch.is_self:
             arrival = depart_time
         else:
-            delay = self.latency.sample(src, dst, self.rng)
-            arrival = depart_time + delay
-            pair = (src, dst)
-            prev = self._last_arrival.get(pair)
-            if prev is not None and arrival <= prev:
-                arrival = prev + _FIFO_EPSILON
-            self._last_arrival[pair] = arrival
-        self.scheduler.schedule(arrival, receiver.enqueue_message, (src, msg))
+            if ch.direct:
+                stddev = ch.stddev
+                if stddev != 0.0:
+                    value = self._gauss(ch.mean, stddev)
+                    floor = ch.floor
+                    arrival = depart_time + (value if value > floor else floor)
+                else:
+                    arrival = depart_time + ch.mean
+            else:
+                arrival = depart_time + self.latency.sample(src, dst, self.rng)
+            if arrival <= ch.last:
+                arrival = ch.last + _FIFO_EPSILON
+            ch.last = arrival
+        self.scheduler.schedule(arrival, ch.enqueue, (src, msg))

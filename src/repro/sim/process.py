@@ -18,11 +18,13 @@ from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
+from .._backend import mypyc_attr
 from .costs import CostModel
 from .events import Scheduler
 from .network import Network
 
 
+@mypyc_attr(allow_interpreted_subclasses=True)
 class SimProcess:
     """Base class for all simulated processes (replicas and clients).
 
@@ -39,7 +41,7 @@ class SimProcess:
         scheduler: Scheduler,
         network: Network,
         cost_model: Optional[CostModel] = None,
-    ):
+    ) -> None:
         self.pid = pid
         self.scheduler = scheduler
         self.network = network
@@ -50,13 +52,29 @@ class SimProcess:
         self._serving = False
         self._outgoing: List[Tuple[int, Any]] = []
         self._in_handler = False
-        # Pre-bound hot methods: storing the bound method in the instance
-        # dict means the network / event loop fetch it without creating a
-        # fresh bound-method object per event (they are scheduled a
-        # million times per load sweep). Most-derived overrides are
-        # picked up because binding happens through ``self``.
-        self.enqueue_message = self.enqueue_message  # type: ignore[method-assign]
-        self._serve = self._serve  # type: ignore[method-assign]
+        # Pre-bound hot callbacks: the network and the event loop fetch
+        # these without creating a fresh bound-method object per event
+        # (they are scheduled a million times per load sweep). Stored
+        # under *distinct* names — shadowing the methods themselves in
+        # the instance dict would forbid ``__slots__`` and break a
+        # compiled (mypyc) build. Most-derived overrides are picked up
+        # because binding happens through ``self``.
+        self._enqueue_cb: Callable[[int, Any], None] = self.enqueue_message
+        self._serve_cb: Callable[[], None] = self._serve
+        self._transmit_cb = network.transmit
+        # The cost model's dicts, cached flat: ``_serve`` charges a recv
+        # cost for every message and a send cost for every departure, so
+        # the two attribute hops through ``self.cost_model`` are paid
+        # once here instead of per event. The dicts are aliased live —
+        # mutating ``cost_model.recv_costs[...]`` still takes effect —
+        # only *rebinding* ``proc.cost_model`` after construction would
+        # go stale (nothing in the repo does; the attribute is
+        # constructor-only by convention).
+        cm = self.cost_model
+        self._recv_costs = cm.recv_costs
+        self._send_costs = cm.send_costs
+        self._default_recv = cm.default_recv
+        self._default_send = cm.default_send
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -121,7 +139,7 @@ class SimProcess:
             if start < sched.now:
                 start = sched.now
             # start >= now, so the scheduler's past-check is elided.
-            heappush(sched._heap, (start, sched._seq, self._serve, ()))
+            heappush(sched._heap, (start, sched._seq, self._serve_cb, ()))
             sched._seq += 1
 
     def _enqueue_job(self, fn: Callable[[], None]) -> None:
@@ -135,7 +153,7 @@ class SimProcess:
             return
         self._serving = True
         start = max(self.scheduler.now, self.busy_until)
-        self.scheduler.schedule(start, self._serve)
+        self.scheduler.schedule(start, self._serve_cb)
 
     def _serve(self) -> None:
         if self.crashed or not self._inbox:
@@ -147,18 +165,15 @@ class SimProcess:
         outgoing = self._outgoing
         if outgoing:
             outgoing.clear()
-        cost_model = self.cost_model
         self._in_handler = True
         try:
             if src is not None:
                 # Inlined cost_model.recv_cost (no CostModel subclasses
                 # exist; costs are keyed on the message kind by contract).
                 try:
-                    cost = cost_model.recv_costs.get(
-                        payload.kind, cost_model.default_recv
-                    )
+                    cost = self._recv_costs.get(payload.kind, self._default_recv)
                 except AttributeError:
-                    cost = cost_model.default_recv
+                    cost = self._default_recv
                 self.on_message(src, payload)
             else:
                 cost = 0.0
@@ -166,8 +181,8 @@ class SimProcess:
         finally:
             self._in_handler = False
         if outgoing:
-            send_costs = cost_model.send_costs
-            default_send = cost_model.default_send
+            send_costs = self._send_costs
+            default_send = self._default_send
             for _, out_msg in outgoing:
                 try:
                     cost += send_costs.get(out_msg.kind, default_send)
@@ -178,13 +193,13 @@ class SimProcess:
         self.busy_until = completion
         if not self.crashed:
             if outgoing:
-                transmit = self.network.transmit
+                transmit = self._transmit_cb
                 pid = self.pid
                 for dst, out_msg in outgoing:
                     transmit(pid, dst, out_msg, completion)
             if self._inbox:
                 # completion = now + cost >= now: past-check elided.
-                heappush(sched._heap, (completion, sched._seq, self._serve, ()))
+                heappush(sched._heap, (completion, sched._seq, self._serve_cb, ()))
                 sched._seq += 1
             else:
                 self._serving = False

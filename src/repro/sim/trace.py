@@ -34,11 +34,9 @@ def record_flights(network: Network) -> List[Flight]:
     an execution).
     """
     flights: List[Flight] = []
-    original = network.transmit
     latency = network.latency
 
-    def transmit(src: int, dst: int, msg: Any, depart_time: float) -> None:
-        original(src, dst, msg, depart_time)
+    def intercept(src: int, dst: int, msg: Any, depart_time: float) -> float:
         arrival = depart_time if src == dst else depart_time + latency.mean(src, dst)
         flights.append(
             Flight(
@@ -50,8 +48,9 @@ def record_flights(network: Network) -> List[Flight]:
                 arrival,
             )
         )
+        return depart_time
 
-    network.transmit = transmit  # type: ignore[method-assign]
+    network.add_transmit_interceptor(intercept)
     return flights
 
 

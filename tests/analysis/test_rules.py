@@ -339,6 +339,68 @@ def test_proto103_allowlist_covers_message_field_capture():
 # ----------------------------------------------------------------------
 
 
+# ----------------------------------------------------------------------
+# PERF001 — classes in compiled hot modules declare __slots__
+# ----------------------------------------------------------------------
+
+PERF001_BAD = """
+    class Tracker:
+        def __init__(self):
+            self.count = 0
+"""
+
+PERF001_GOOD = """
+    from typing import NamedTuple
+
+
+    class Tracker:
+        __slots__ = ("count",)
+
+        def __init__(self):
+            self.count = 0
+
+
+    class Point(NamedTuple):
+        x: int
+        y: int
+
+
+    class TrackerError(ValueError):
+        pass
+"""
+
+
+def test_perf001_fires_on_unslotted_hot_class():
+    findings = run_rule("PERF001", PERF001_BAD, module="repro.core.state")
+    assert rules_fired(findings) == ["PERF001"]
+
+
+def test_perf001_silent_on_slotted_namedtuple_and_exception():
+    assert run_rule("PERF001", PERF001_GOOD, module="repro.core.state") == []
+
+
+def test_perf001_out_of_scope_module_is_ignored():
+    """Only the compiled hot modules are in scope — the harness, the
+    baselines and the chaos layer may use plain classes freely."""
+    assert run_rule("PERF001", PERF001_BAD, module="repro.harness.runner") == []
+
+
+def test_perf001_allowlist_spares_the_dynamic_process_lineage():
+    findings = run_rule("PERF001", PERF001_BAD, module="repro.sim.process")
+    assert findings  # a new unslotted class in the module still fires
+    lineage = PERF001_BAD.replace("class Tracker:", "class SimProcess:")
+    assert run_rule("PERF001", lineage, module="repro.sim.process") == []
+
+
+def test_perf001_scope_matches_compiled_module_list():
+    """The lint scope and the mypyc compilation unit must stay in sync:
+    a module added to COMPILED_MODULES without the slots contract (or
+    vice versa) is a review error."""
+    from repro._backend import COMPILED_MODULES
+
+    assert tuple(DEFAULT_CONFIG.perf_slots_scope) == tuple(COMPILED_MODULES)
+
+
 def test_every_registered_rule_has_a_firing_fixture():
     """Names in this test module must cover the whole registry, so a new
     rule cannot land without a known-bad fixture."""
@@ -347,6 +409,7 @@ def test_every_registered_rule_has_a_firing_fixture():
         "DET002",
         "DET003",
         "DET004",
+        "PERF001",
         "PROTO101",
         "PROTO102",
         "PROTO103",

@@ -1,7 +1,9 @@
 """Scoped ``mypy --strict`` gate.
 
-The paper-facing packages (``repro.core``, ``repro.verify``) and the
-analysis pass itself must type-check under ``--strict``; pyproject.toml
+The paper-facing packages (``repro.core``, ``repro.verify``), the
+simulation substrate (``repro.sim`` — with ``repro.core`` it forms the
+mypyc compilation unit, DESIGN.md §9) and the analysis pass itself must
+type-check under ``--strict``; pyproject.toml
 relaxes nothing inside that scope and silences everything outside it.
 Skips when mypy is not installed (the container image does not bake it
 in); the CI ``lint`` job installs mypy and runs this gate for real.
@@ -19,6 +21,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 MYPY_SCOPE = [
     "src/repro/core",
+    "src/repro/sim",
     "src/repro/verify",
     "src/repro/analysis",
     "src/repro/chaos",

@@ -1,0 +1,187 @@
+"""Differential-harness and perf-history unit tests.
+
+The cross-backend *golden* comparisons live in
+``tests/harness/test_determinism_golden.py``; here we test the
+machinery itself: fingerprint diffing, the backend subprocess protocol
+(including the REPRO_COMPILED=0 escape hatch), the CLI exit codes, and
+the BENCH_history append/render pipeline.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro._backend import COMPILED_MODULES
+from repro.harness.differential import (
+    SCENARIOS,
+    diff_fingerprints,
+    run_backend,
+    run_scenario,
+)
+from repro.harness.perf import (
+    HISTORY_BEGIN,
+    HISTORY_END,
+    append_history,
+    history_table,
+    read_history,
+    update_experiments_history,
+)
+
+
+def test_diff_fingerprints_reports_each_divergent_field():
+    ref = {"events": 100, "throughput": 1.5, "sample_checksum": "1.0"}
+    same = dict(ref)
+    assert diff_fingerprints(ref, same) == []
+    cand = {"events": 101, "throughput": 1.5, "sample_checksum": "2.0"}
+    mismatches = diff_fingerprints(ref, cand)
+    assert len(mismatches) == 2
+    assert any(m.startswith("events:") for m in mismatches)
+    assert any(m.startswith("sample_checksum:") for m in mismatches)
+
+
+def test_diff_fingerprints_catches_missing_fields():
+    assert diff_fingerprints({"a": 1}, {}) == ["a: reference=1 candidate=None"]
+
+
+def test_run_scenario_rejects_nothing_but_known_protocols():
+    assert set(SCENARIOS) == {"primcast", "primcast-hc", "whitebox", "fastcast"}
+
+
+def test_worker_roundtrip_and_escape_hatch():
+    """The reference worker must run pure python even when the parent
+    requested the compiled backend — REPRO_COMPILED=0 is authoritative."""
+    payload = run_backend("primcast", compiled=False)
+    assert payload["backend_info"]["backend"] == "pure-python"
+    assert payload["backend_info"]["requested"] == "pure-python"
+    fp = payload["fingerprint"]
+    assert fp["protocol"] == "primcast"
+    # The worker pins the seed schedule (compaction off).
+    assert fp["events"] == 67744
+    # And matches an in-process run bit for bit.
+    assert diff_fingerprints(fp, run_scenario("primcast")) == []
+
+
+def test_backend_info_covers_the_compilation_unit():
+    import repro
+
+    info = repro.backend_info()
+    assert info["eligible_modules"] == list(COMPILED_MODULES)
+    assert info["backend"] in ("pure-python", "compiled", "mixed")
+    # Whatever this environment is, every eligible module is imported
+    # by `import repro`, so the report is complete.
+    assert set(info["compiled_modules"]) <= set(info["eligible_modules"])
+
+
+def test_cli_exit_codes():
+    """Exit 0 on identical-or-skipped, 2 under --require-compiled with
+    no extensions, 1 only on a real mismatch (not constructible here)."""
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.harness.differential",
+            "--scenario",
+            "primcast",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stdout + out.stderr
+    compiled_available = "skipped" not in out.stdout
+    if not compiled_available:
+        strict = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.harness.differential",
+                "--require-compiled",
+                "--scenario",
+                "primcast",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert strict.returncode == 2
+
+
+# ----------------------------------------------------------------------
+# perf history pipeline (--append-history)
+# ----------------------------------------------------------------------
+
+
+def _row(ts, wall, note=""):
+    return {
+        "timestamp": ts,
+        "point": "fig3-wan-colocated-d2-o32",
+        "wall_s": wall,
+        "walls_s": [wall],
+        "events": 660110,
+        "events_per_sec": 660110 / wall,
+        "speedup_vs_seed": 10.139 / wall,
+        "backend": "pure-python",
+        "note": note,
+    }
+
+
+def test_history_append_read_roundtrip(tmp_path):
+    log = tmp_path / "BENCH_history.jsonl"
+    append_history(_row("2026-01-01T00:00:00Z", 5.0), path=log)
+    append_history(_row("2026-01-02T00:00:00Z", 4.0, "faster"), path=log)
+    rows = read_history(path=log)
+    assert [r["wall_s"] for r in rows] == [5.0, 4.0]
+    assert rows[1]["note"] == "faster"
+    # Append-only: a reread after another append sees all three.
+    append_history(_row("2026-01-03T00:00:00Z", 3.0), path=log)
+    assert len(read_history(path=log)) == 3
+
+
+def test_history_table_renders_every_row():
+    rows = [
+        _row("2026-01-01T00:00:00Z", 5.0),
+        _row("2026-01-02T00:00:00Z", 4.0, "faster"),
+    ]
+    table = history_table(rows)
+    lines = table.splitlines()
+    assert lines[0].startswith("| When (UTC) |")
+    assert len(lines) == 2 + len(rows)
+    assert "2026-01-02T00:00:00Z" in lines[3]
+    assert "faster" in lines[3]
+    assert "2.03x" in lines[2]  # 10.139 / 5.0 vs seed
+
+
+def test_update_experiments_history_rewrites_only_the_marked_block(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text(
+        "# Title\n\nprose before\n\n"
+        f"{HISTORY_BEGIN}\nstale table\n{HISTORY_END}\n\nprose after\n"
+    )
+    update_experiments_history([_row("2026-01-01T00:00:00Z", 5.0)], path=doc)
+    text = doc.read_text()
+    assert "stale table" not in text
+    assert "2026-01-01T00:00:00Z" in text
+    assert text.startswith("# Title\n\nprose before\n")
+    assert text.endswith("prose after\n")
+    # Idempotent: regenerating replaces, never accumulates.
+    update_experiments_history([_row("2026-01-02T00:00:00Z", 4.0)], path=doc)
+    text = doc.read_text()
+    assert "2026-01-01T00:00:00Z" not in text
+    assert "2026-01-02T00:00:00Z" in text
+
+
+def test_update_experiments_history_refuses_missing_markers(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text("# Title\n\nno markers here\n")
+    with pytest.raises(ValueError):
+        update_experiments_history([], path=doc)
+
+
+def test_repo_experiments_has_the_markers():
+    """The real EXPERIMENTS.md must keep the marker pair, or
+    --append-history starts failing."""
+    from repro.harness.perf import EXPERIMENTS_PATH
+
+    text = EXPERIMENTS_PATH.read_text()
+    assert HISTORY_BEGIN in text
+    assert HISTORY_END in text
+    assert text.index(HISTORY_BEGIN) < text.index(HISTORY_END)

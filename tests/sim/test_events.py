@@ -172,3 +172,77 @@ def test_cancel_is_idempotent():
     assert sched.pending() == 0
     sched.run()
     assert sched.events_processed == 0
+
+
+def test_run_pauses_gc_and_restores_prior_state():
+    """Scheduler.run disables the generational GC for the duration of
+    the loop and restores whatever state it found — including when the
+    caller had already disabled it."""
+    import gc
+
+    sched = Scheduler()
+    observed = []
+    sched.call_at(1.0, lambda: observed.append(gc.isenabled()))
+    assert gc.isenabled()
+    sched.run()
+    assert observed == [False]
+    assert gc.isenabled()
+
+    sched2 = Scheduler()
+    observed2 = []
+    sched2.call_at(1.0, lambda: observed2.append(gc.isenabled()))
+    gc.disable()
+    try:
+        sched2.run()
+        assert observed2 == [False]
+        assert not gc.isenabled()  # caller's disable is preserved
+    finally:
+        gc.enable()
+
+
+def test_run_under_gc_pressure_is_identical():
+    """A run executed with the collector disabled and cyclic garbage
+    accumulating must produce exactly the same results as a clean run:
+    the schedule is a pure function of the inputs, never of collector
+    timing (DESIGN.md §9 — the gc pause around the loop is a pure
+    optimisation)."""
+    import gc
+
+    from repro.harness.runner import run_load_point
+    from repro.workload.scenarios import wan_colocated_leaders
+
+    def run_once():
+        return run_load_point(
+            "primcast",
+            wan_colocated_leaders(),
+            2,
+            4,
+            seed=1,
+            warmup_ms=100.0,
+            measure_ms=150.0,
+            keep_samples=True,
+        )
+
+    baseline = run_once()
+
+    gc.disable()
+    cycles = []
+    try:
+        # Cyclic garbage the disabled collector cannot reclaim; with the
+        # collector running this allocation pattern would trigger many
+        # generation-0 passes mid-run.
+        for i in range(10_000):
+            node = {"i": i}
+            node["self"] = node
+            cycles.append(node)
+        pressured = run_once()
+    finally:
+        cycles.clear()
+        gc.enable()
+        gc.collect()
+
+    assert pressured.samples == baseline.samples
+    assert pressured.message_counts == baseline.message_counts
+    assert pressured.events == baseline.events
+    assert pressured.throughput == baseline.throughput
+    assert pressured.latency == baseline.latency
