@@ -22,14 +22,18 @@ from .config import DEFAULT_CONFIG, AnalysisConfig
 
 # Importing the rule modules populates the registry.
 from . import det_rules as _det_rules  # noqa: F401
+from . import eff_rules as _eff_rules  # noqa: F401
 from . import perf_rules as _perf_rules  # noqa: F401
 from . import proto_rules as _proto_rules  # noqa: F401
+from . import race_rules as _race_rules  # noqa: F401
 
 from .cli import main
-from .engine import analyze_module, analyze_paths, iter_python_files, load_module
+from .engine import AnalysisError, analyze_module, analyze_paths, iter_python_files, load_module
+from .markers import pure
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisError",
     "ContextVisitor",
     "DEFAULT_CONFIG",
     "Finding",
@@ -41,5 +45,6 @@ __all__ = [
     "iter_python_files",
     "load_module",
     "main",
+    "pure",
     "register",
 ]

@@ -1,0 +1,131 @@
+"""Content-hash incremental cache for the analysis pass.
+
+The CI lint job analyses the whole tree on every push; almost all of it
+is unchanged almost all of the time. This cache keys each file's
+findings by the sha256 of its *content* (not mtime — CI checkouts have
+fresh mtimes), under a fingerprint that folds in everything else that
+could change the answer:
+
+* the sources of the analysis package itself (a rule edit invalidates
+  everything),
+* the canonical form of the active :class:`AnalysisConfig`,
+* the set of rule ids being run.
+
+A fingerprint mismatch simply means a different subdirectory — stale
+entries are never *wrong*, only unused. Entries store findings with
+paths relative to nothing (verbatim), so a warm run reproduces the cold
+run byte-for-byte; the CI job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .base import Finding
+from .config import AnalysisConfig
+
+_CACHE_VERSION = 1
+
+
+def _package_fingerprint() -> str:
+    """sha256 over the analysis package's own sources (sorted walk)."""
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def compute_fingerprint(
+    config: AnalysisConfig, rule_ids: Iterable[str]
+) -> str:
+    """Cache namespace for one (analysis version, config, rules) triple."""
+    digest = hashlib.sha256()
+    digest.update(f"v{_CACHE_VERSION}".encode("utf-8"))
+    digest.update(_package_fingerprint().encode("utf-8"))
+    # The dataclass repr is deterministic: field order is declaration
+    # order and every field holds tuples/dicts built from literals.
+    digest.update(repr(config).encode("utf-8"))
+    digest.update(",".join(sorted(rule_ids)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """File-level findings cache under ``cache_dir``.
+
+    ``get`` / ``put`` key on the file's content hash; hit/miss counters
+    feed the CLI's ``cache`` report section.
+    """
+
+    def __init__(self, cache_dir: Path, fingerprint: str) -> None:
+        self.root = cache_dir / fingerprint[:32]
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._pending_key: Optional[str] = None
+
+    # -- keying --------------------------------------------------------
+
+    @staticmethod
+    def _content_key(path: Path) -> str:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def _entry(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- access --------------------------------------------------------
+
+    def get(self, path: Path) -> Optional[List[Finding]]:
+        key = self._content_key(path)
+        entry = self._entry(key)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            self._pending_key = key
+            return None
+        # The same content can live at two paths (fixture copies); the
+        # recorded findings carry the original path, so only reuse an
+        # entry recorded for this exact path.
+        if payload.get("path") != str(path):
+            self.misses += 1
+            self._pending_key = key
+            return None
+        self.hits += 1
+        self._pending_key = None
+        return [
+            Finding(
+                rule=item["rule"],
+                severity=item["severity"],
+                path=item["path"],
+                line=item["line"],
+                col=item["col"],
+                message=item["message"],
+                context=item["context"],
+            )
+            for item in payload["findings"]
+        ]
+
+    def put(self, path: Path, findings: List[Finding]) -> None:
+        key = self._pending_key or self._content_key(path)
+        self._pending_key = None
+        payload = {
+            "path": str(path),
+            "findings": [f.to_json() for f in findings],
+        }
+        tmp = self._entry(key).with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=False), encoding="utf-8"
+        )
+        tmp.replace(self._entry(key))
+
+    # -- reporting -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

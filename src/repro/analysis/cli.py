@@ -1,10 +1,15 @@
 """Command-line entry point: ``python -m repro.analysis [paths]``.
 
 Exit codes: 0 — clean (or warnings only), 1 — at least one
-error-severity finding, 2 — usage error. ``--json`` emits a
+error-severity finding, 2 — usage error *or* an internal analysis error
+(a rule crashed; the message names the offending file and rule so a CI
+failure is diagnosable from the log alone). ``--json`` emits a
 machine-readable report (consumed by the CI lint job's artifact upload);
-the default output is one ``path:line:col: RULE severity: message``
-line per finding, the shape editors and CI annotations both understand.
+``--sarif FILE`` additionally writes a SARIF 2.1.0 log for GitHub code
+scanning; ``--cache-dir DIR`` enables the content-hash incremental
+cache. The default output is one ``path:line:col: RULE severity:
+message`` line per finding, the shape editors and CI annotations both
+understand.
 """
 
 from __future__ import annotations
@@ -16,8 +21,10 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .base import RULES
+from .cache import AnalysisCache, compute_fingerprint
 from .config import DEFAULT_CONFIG, AnalysisConfig
-from .engine import analyze_paths, iter_python_files
+from .engine import AnalysisError, analyze_paths, iter_python_files
+from .sarif import sarif_report
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +60,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the built-in allowlist (show reviewed exemptions too)",
     )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="enable the content-hash incremental cache under DIR",
+    )
     return parser
 
 
@@ -79,31 +96,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rules = [RULES[r] for r in args.rule]
 
     paths = [Path(p) for p in args.paths]
+    active_ids = sorted(RULES) if rules is None else sorted(r.rule_id for r in rules)
+
+    cache = None
+    if args.cache_dir:
+        fingerprint = compute_fingerprint(config, active_ids)
+        cache = AnalysisCache(Path(args.cache_dir), fingerprint)
+
     try:
         files = iter_python_files(paths)
-        findings = analyze_paths(paths, config, rules)
+        findings = analyze_paths(paths, config, rules, cache=cache)
     except (FileNotFoundError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     errors = [f for f in findings if f.severity == "error"]
     warnings = [f for f in findings if f.severity != "error"]
 
+    if args.sarif:
+        sarif_text = json.dumps(sarif_report(findings, RULES), indent=2)
+        if args.sarif == "-":
+            print(sarif_text)
+        else:
+            Path(args.sarif).write_text(sarif_text + "\n", encoding="utf-8")
+
     if args.json:
         report = {
             "version": 1,
             "files_analyzed": len(files),
-            "rules": sorted(RULES if rules is None else [r.rule_id for r in rules]),
+            "rules": active_ids,
             "summary": {"errors": len(errors), "warnings": len(warnings)},
             "findings": [f.to_json() for f in findings],
         }
+        if cache is not None:
+            report["cache"] = cache.stats()
         print(json.dumps(report, indent=2, sort_keys=False))
     else:
         for finding in findings:
             print(finding.format())
         noun = "file" if len(files) == 1 else "files"
+        cache_note = ""
+        if cache is not None:
+            stats = cache.stats()
+            cache_note = f", cache {stats['hits']} hit(s) {stats['misses']} miss(es)"
         print(
             f"repro.analysis: {len(files)} {noun}, "
-            f"{len(errors)} error(s), {len(warnings)} warning(s)"
+            f"{len(errors)} error(s), {len(warnings)} warning(s){cache_note}"
         )
     return 1 if errors else 0

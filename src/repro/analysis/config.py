@@ -76,6 +76,133 @@ KNOWN_SET_ATTRS: Tuple[str, ...] = (
 FLOAT_TIME_ATTRS: Tuple[str, ...] = ("now", "busy_until")
 FLOAT_TIME_NAMES: Tuple[str, ...] = ("arrival", "depart_time", "deadline")
 
+#: Container methods that mutate their receiver. The effect summaries
+#: turn ``self.x.append(…)`` into a write of ``x``; keep this to methods
+#: that *always* mutate so reads never count as writes.
+MUTATOR_METHODS: Tuple[str, ...] = (
+    "append",
+    "appendleft",
+    "add",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "clear",
+    "pop",
+    "popleft",
+    "popitem",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+    "push",
+)
+
+#: Free functions whose *first argument* is mutated in place
+#: (``heapq.heappush(self.x, …)`` writes ``x``).
+MUTATING_FUNCS: Tuple[str, ...] = (
+    "heappush",
+    "heappop",
+    "heapify",
+    "heapreplace",
+    "heappushpop",
+)
+
+#: Modules whose classes hold per-process protocol state; the RACE2xx
+#: rules analyse methods here. Narrower than DET scope on purpose: the
+#: harness/chaos drivers hold no protocol state of their own (what they
+#: touch on processes, RACE201's foreign-write arm still sees).
+RACE_SCOPE: Tuple[str, ...] = (
+    "repro.core",
+    "repro.sim",
+    "repro.rmcast",
+    "repro.baselines",
+    "repro.election",
+    "repro.consensus",
+    "repro.harness",
+    "repro.chaos",
+)
+
+#: Shared per-process protocol state (Algorithms 1–3 variables plus the
+#: bookkeeping the delivery decision reads). A mutation of one of these
+#: from outside scheduler/handler context is a RACE201; private
+#: (underscore) caches are deliberately absent — they are recomputed,
+#: never load-bearing across handlers.
+RACE_SHARED_ATTRS: Tuple[str, ...] = (
+    "clock",
+    "e_cur",
+    "e_prom",
+    "role",
+    "t_list",
+    "t_by_mid",
+    "pending",
+    "delivered",
+    "started",
+    "my_acks",
+    "acks",
+    "promises",
+    "accepts",
+)
+
+#: Method-name prefixes that mark scheduler-dispatched handler context:
+#: these run to completion on the (single-threaded) event loop, so
+#: mutations inside them are serialised by construction.
+HANDLER_PREFIXES: Tuple[str, ...] = ("on_", "_on_", "handle_", "_handle_")
+
+#: Reviewed entry points that *are* scheduler context despite their
+#: public, non-handler names (fnmatch over ``module::Class.method``).
+#: Every entry needs a justification comment — the self-check fails on
+#: an unexplained one.
+SCHEDULER_CONTEXT_API: Tuple[str, ...] = (
+    # a_multicast is Algorithm 1 line 9: the application-facing entry
+    # point. The sim calls it from scheduled app events, and the coming
+    # asyncio backend must post it onto the process's event loop (DESIGN
+    # §10) — it is handler context by contract, not by accident.
+    "*::*.a_multicast",
+    # compact_delivered is invoked by the GC daemon from a scheduled
+    # timer (repro.core.gc), i.e. on the event loop between handlers —
+    # same serialisation domain as the handlers themselves.
+    "repro.core.process::PrimCastProcess.compact_delivered",
+)
+
+#: Epoch variables whose reads go stale across a suspension point
+#: (RACE203): any ``await``/``yield`` can admit an epoch change, so a
+#: cached ``e_cur``/``e_prom`` must be re-read before use afterwards.
+EPOCH_GUARD_ATTRS: Tuple[str, ...] = ("e_cur", "e_prom")
+
+#: Functions declared pure (fnmatch over ``module::qualname``): EFF301
+#: requires their transitive write effect to be empty. The spec-level
+#: predicates mirror the paper's timestamp functions (local_ts, min_ts,
+#: final_ts, …) — referentially transparent by definition there.
+DECLARED_PURE: Tuple[str, ...] = (
+    # The literal Algorithm 1 predicates: brute-force scans over the
+    # recorded tuple set, pure by construction (that is their point).
+    "repro.core.spec::SpecRecorder.local_ts",
+    "repro.core.spec::SpecRecorder.min_clock",
+    "repro.core.spec::SpecRecorder.quorum_clock",
+    "repro.core.spec::SpecRecorder.final_ts",
+    "repro.core.spec::SpecRecorder.min_ts",
+    # Incremental counterparts that must stay read-only so the
+    # differential tests can call them at will mid-execution. (final_ts
+    # and quorum_clock memoise into private caches and are deliberately
+    # NOT declared pure.)
+    "repro.core.process::PrimCastProcess.local_ts",
+    "repro.core.process::PrimCastProcess.min_clock",
+    "repro.core.process::PrimCastProcess._min_ts",
+    "repro.core.process::PrimCastProcess._proposable",
+)
+
+#: Decorator names that declare a function pure in-source.
+PURE_DECORATORS: Tuple[str, ...] = ("pure", "declared_pure")
+
+#: Modules whose classes observe the protocol (EFF302): they may read
+#: any process state but must never write the shared protocol
+#: attributes of a *foreign* object (their own bookkeeping is fine).
+EFF_READONLY_SCOPE: Tuple[str, ...] = (
+    "repro.verify",
+    "repro.core.spec",
+)
+
 #: Modules whose classes are wire messages (PROTO101).
 WIRE_MESSAGE_MODULES: Tuple[str, ...] = (
     "repro.core.messages",
@@ -139,10 +266,22 @@ DEFAULT_ALLOW: Mapping[str, Tuple[str, ...]] = {
         "repro.rmcast.fifo::Envelope",
         "repro.baselines.skeen::SkeenMulticast",
     ),
-    # EpochPromise stores the *sender's* clock and E_cur as message
-    # fields (Algorithm 3, line 64); that is payload capture, not a
-    # mutation of the protocol variables.
-    "PROTO103": ("repro.core.messages::EpochPromise.__init__",),
+    # (The former PROTO103 entry for EpochPromise.__init__ is gone: the
+    # rule now proves wire-message payload capture clean by itself.)
+    # The standing-proposal rule (Algorithm 1 line 35; Algorithm 3 lines
+    # 75-81) *requires* proposing after acking/announcing: an ack or
+    # AcceptEpoch goes out, then _propose stamps the next clock value.
+    # The emitted messages carry no post-send state (Ack/Bump capture
+    # the clock at emission, AcceptEpoch carries only (epoch, pid)), and
+    # each handler runs to completion on the scheduler, so send+mutate
+    # is atomic with respect to every other handler. The repro.net port
+    # must preserve per-process handler atomicity (DESIGN.md §10) —
+    # these three sites are the contract's test cases.
+    "RACE202": (
+        "repro.core.process::PrimCastProcess._on_ack",
+        "repro.core.process::PrimCastProcess._on_new_state",
+        "repro.core.process::PrimCastProcess._check_epoch_activation",
+    ),
     # The process lineage must stay dynamic (no __slots__): SimProcess
     # subclasses (protocols, test doubles) add instance attributes
     # freely, and the spec recorder / invariant monitor wrap
@@ -182,6 +321,28 @@ class AnalysisConfig:
     state_conformance: Mapping[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(STATE_CONFORMANCE)
     )
+    mutator_methods: Tuple[str, ...] = MUTATOR_METHODS
+    mutating_funcs: Tuple[str, ...] = MUTATING_FUNCS
+    race_scope: Tuple[str, ...] = RACE_SCOPE
+    race_shared_attrs: Tuple[str, ...] = RACE_SHARED_ATTRS
+    handler_prefixes: Tuple[str, ...] = HANDLER_PREFIXES
+    scheduler_context_api: Tuple[str, ...] = SCHEDULER_CONTEXT_API
+    epoch_guard_attrs: Tuple[str, ...] = EPOCH_GUARD_ATTRS
+    declared_pure: Tuple[str, ...] = DECLARED_PURE
+    pure_decorators: Tuple[str, ...] = PURE_DECORATORS
+    eff_readonly_scope: Tuple[str, ...] = EFF_READONLY_SCOPE
+
+    def is_scheduler_context(self, module: str, class_name: str, method: str) -> bool:
+        """True when ``Class.method`` is a reviewed scheduler entry point."""
+        context = f"{module}::{class_name}.{method}"
+        return any(
+            fnmatchcase(context, pat) for pat in self.scheduler_context_api
+        )
+
+    def is_declared_pure(self, module: str, qualname: str) -> bool:
+        """True when ``module::qualname`` is declared pure by config."""
+        context = f"{module}::{qualname}"
+        return any(fnmatchcase(context, pat) for pat in self.declared_pure)
 
     def is_allowed(self, rule_id: str, context: str) -> bool:
         """True when ``context`` (``module::qualname``) is allowlisted."""

@@ -1,0 +1,119 @@
+"""Forward dataflow over the CFGs of :mod:`repro.analysis.cfg`.
+
+A deliberately small engine: one abstract state type per analysis, a
+``transfer`` function over CFG entries, a ``join`` for merge points, and
+a worklist iteration to fixpoint. Rules then *replay* each block from
+its fixpoint entry state with :func:`walk`, observing the state right
+before every entry — which is where findings are emitted.
+
+Monotonicity is the client's obligation: ``join`` must be a least upper
+bound and ``transfer`` monotone, or the worklist may not terminate. All
+analyses in this package use finite lattices (small maps over local
+names / booleans), so fixpoints are reached in a handful of passes.
+
+Determinism: the worklist is seeded in reverse post-order and processed
+smallest-id-first, so iteration order — and therefore any tie-breaking
+in client joins — is platform-independent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Generic, List, Set, TypeVar
+
+from .cfg import CFG, CFGEntry
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Client interface of one forward may/must analysis."""
+
+    def initial(self) -> S:
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """State for not-yet-reached (or unreachable) blocks."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound at merge points."""
+        raise NotImplementedError
+
+    def transfer(self, entry: CFGEntry, state: S) -> S:
+        """State after one CFG entry, given the state before it."""
+        raise NotImplementedError
+
+
+def fixpoint(cfg: CFG, analysis: ForwardAnalysis[S]) -> Dict[int, S]:
+    """Block-entry states at the least fixpoint.
+
+    Unreachable blocks keep ``analysis.bottom()`` — rules replaying
+    them see the empty state, which for may-analyses means "no facts",
+    i.e. no findings from dead code.
+    """
+    order = cfg.rpo()
+    position = {block_id: i for i, block_id in enumerate(order)}
+    states: Dict[int, S] = {block_id: analysis.bottom() for block_id in cfg.blocks}
+    states[cfg.entry] = analysis.initial()
+
+    worklist: List[int] = []
+    queued: Set[int] = set()
+
+    def push(block_id: int) -> None:
+        if block_id not in queued:
+            queued.add(block_id)
+            heapq.heappush(worklist, position[block_id])
+
+    # Seed with every block (in RPO): a block's transfer can generate
+    # facts even when its entry state never changes after bottom, so
+    # each block must be processed at least once to propagate them.
+    for block_id in order:
+        push(block_id)
+    # Finite lattices + monotone transfers terminate; the guard bounds
+    # pathological clients instead of hanging the lint pass.
+    budget = 64 * max(1, len(cfg.blocks)) * max(1, len(cfg.blocks))
+    while worklist:
+        budget -= 1
+        if budget < 0:
+            raise RuntimeError(
+                "dataflow fixpoint did not converge (non-monotone transfer?)"
+            )
+        block_id = order[heapq.heappop(worklist)]
+        queued.discard(block_id)
+        state = states[block_id]
+        for entry in cfg.blocks[block_id].entries:
+            state = analysis.transfer(entry, state)
+        for succ in sorted(cfg.blocks[block_id].succs):
+            joined = analysis.join(states[succ], state)
+            if joined != states[succ]:
+                states[succ] = joined
+                push(succ)
+    return states
+
+
+def walk(
+    cfg: CFG,
+    analysis: ForwardAnalysis[S],
+    entry_states: Dict[int, S],
+    visit: Callable[[CFGEntry, S], None],
+) -> None:
+    """Replay every block once from its fixpoint entry state, calling
+    ``visit(entry, state_before_entry)`` for each CFG entry in order."""
+    for block_id in cfg.rpo():
+        state = entry_states[block_id]
+        for entry in cfg.blocks[block_id].entries:
+            visit(entry, state)
+            state = analysis.transfer(entry, state)
+
+
+def analyze(
+    cfg: CFG,
+    analysis: ForwardAnalysis[S],
+    visit: Callable[[CFGEntry, S], None],
+) -> Dict[int, S]:
+    """Fixpoint + replay in one call; returns the entry states."""
+    states = fixpoint(cfg, analysis)
+    walk(cfg, analysis, states, visit)
+    return states

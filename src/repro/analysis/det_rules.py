@@ -28,6 +28,8 @@ import ast
 from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Tuple, Union
 
 from .base import ContextVisitor, Finding, ModuleInfo, Rule, register
+from .cfg import CFGEntry, build_cfg, iter_child_expressions, iter_functions
+from .dataflow import ForwardAnalysis, analyze
 
 if TYPE_CHECKING:  # pragma: no cover
     from .config import AnalysisConfig
@@ -224,110 +226,154 @@ def _function_emits(fn: Union[ast.FunctionDef, ast.AsyncFunctionDef], emission: 
     return False
 
 
-class _Det002Visitor(ContextVisitor):
-    def __init__(
-        self,
-        rule: Rule,
-        mod: ModuleInfo,
-        set_names: Set[str],
-        set_attrs: Set[str],
-        emission: Set[str],
-    ) -> None:
-        super().__init__()
-        self.rule = rule
-        self.mod = mod
+#: Ordering provenance a local can carry through the dataflow.
+_ORDERED = "ordered"  # value proven sorted (flows through list/tuple/…)
+_UNORDERED = "unordered"  # value carries set contents in set order
+
+
+class _ProvState:
+    """Map of local name -> ordering provenance; absent = unknown."""
+
+    __slots__ = ("locals",)
+
+    def __init__(self, values: "dict[str, str]") -> None:
+        self.locals = values
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ProvState) and other.locals == self.locals
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(tuple(sorted(self.locals.items())))
+
+
+class _ProvAnalysis(ForwardAnalysis[_ProvState]):
+    """Forward sorted/unsorted provenance through local assignments.
+
+    ``x = sorted(self.pending)`` proves ``x`` ordered on every path it
+    dominates; ``x = self.pending`` marks ``x`` as carrying raw set
+    contents. The join is may-unordered: a name unordered on *any*
+    incoming path stays unordered, and ordered-ness survives a merge
+    only when proven on every path.
+    """
+
+    def __init__(self, set_names: Set[str], set_attrs: Set[str]) -> None:
         self.set_names = set_names
         self.set_attrs = set_attrs
-        self.emission = emission
-        self._emit_depth = 0
-        self.findings: List[Finding] = []
 
-    # -- emission-context tracking ------------------------------------
+    def initial(self) -> _ProvState:
+        return _ProvState({})
 
-    def _visit_function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
-        emits = _function_emits(node, self.emission)
-        self._stack.append(node.name)
-        if emits:
-            self._emit_depth += 1
-        self.generic_visit(node)
-        if emits:
-            self._emit_depth -= 1
-        self._stack.pop()
+    def bottom(self) -> _ProvState:
+        return _ProvState({})
 
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_function(node)
+    def join(self, a: _ProvState, b: _ProvState) -> _ProvState:
+        merged: "dict[str, str]" = {}
+        for name in set(a.locals) | set(b.locals):
+            va, vb = a.locals.get(name), b.locals.get(name)
+            if va == _UNORDERED or vb == _UNORDERED:
+                merged[name] = _UNORDERED
+            elif va == _ORDERED and vb == _ORDERED:
+                merged[name] = _ORDERED
+            # ordered-on-one-path-only degrades to unknown (absent).
+        return _ProvState(merged)
 
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_function(node)
-
-    # -- iteration checks ---------------------------------------------
-
-    def _unordered_reason(self, iter_node: ast.expr) -> Optional[str]:
-        """Why iterating ``iter_node`` is order-hazardous, or None."""
-        if isinstance(iter_node, ast.Name) and iter_node.id in self.set_names:
-            return f"set-typed name '{iter_node.id}'"
-        if isinstance(iter_node, ast.Attribute) and iter_node.attr in self.set_attrs:
-            return f"set-typed attribute '.{iter_node.attr}'"
-        if _is_set_expr(iter_node):
-            return "set expression"
-        if isinstance(iter_node, ast.Call):
-            owner, attr = _call_name(iter_node.func)
-            if attr == "keys" and owner is not None:
-                # dict.keys() on the emission path: flagged so the
-                # ordering contract (insertion order) is made explicit
-                # with sorted() rather than relied on silently.
-                return "dict .keys() view"
-            if owner is None and attr in {"list", "tuple", "iter"} and iter_node.args:
-                return self._unordered_reason(iter_node.args[0])
+    def provenance(self, expr: ast.expr, state: _ProvState) -> Optional[str]:
+        """Ordering provenance of a value expression, or None (unknown)."""
+        if isinstance(expr, ast.Name):
+            known = state.locals.get(expr.id)
+            if known is not None:
+                return known
+            return _UNORDERED if expr.id in self.set_names else None
+        if isinstance(expr, ast.Attribute):
+            return _UNORDERED if expr.attr in self.set_attrs else None
+        if _is_set_expr(expr):
+            return _UNORDERED
+        if isinstance(expr, ast.Call):
+            owner, attr = _call_name(expr.func)
+            if owner is None and attr == "sorted":
+                return _ORDERED
+            if owner is None and attr in {"list", "tuple", "iter", "reversed"}:
+                # Order-preserving wrappers carry their argument's
+                # provenance (reversed of sorted is still deterministic).
+                if expr.args:
+                    return self.provenance(expr.args[0], state)
         return None
 
-    def _check_iter(self, iter_node: ast.expr, anchor: ast.AST) -> None:
-        if self._emit_depth == 0:
-            return
-        # sorted(...) is the sanctioned ordering fence.
-        if isinstance(iter_node, ast.Call):
-            owner, attr = _call_name(iter_node.func)
-            if owner is None and attr == "sorted":
-                return
-        reason = self._unordered_reason(iter_node)
-        if reason is not None:
-            self.findings.append(
-                self.rule.finding(
-                    self.mod,
-                    anchor,
-                    f"iteration over {reason} in an emission context without "
-                    f"sorted(...) — set order may leak into the event "
-                    f"schedule",
-                    self.context,
-                )
-            )
+    def _kill(self, target: ast.expr, values: "dict[str, str]") -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                values.pop(node.id, None)
 
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter, node)
-        self.generic_visit(node)
+    def transfer(self, entry: CFGEntry, state: _ProvState) -> _ProvState:
+        values = dict(state.locals)
+        if isinstance(entry, ast.Assign):
+            prov = self.provenance(entry.value, state)
+            for target in entry.targets:
+                if isinstance(target, ast.Name):
+                    if prov is None:
+                        values.pop(target.id, None)
+                    else:
+                        values[target.id] = prov
+                else:
+                    self._kill(target, values)
+        elif isinstance(entry, ast.AnnAssign):
+            if isinstance(entry.target, ast.Name):
+                if _is_set_annotation(entry.annotation):
+                    values[entry.target.id] = _UNORDERED
+                elif entry.value is not None:
+                    prov = self.provenance(entry.value, state)
+                    if prov is None:
+                        values.pop(entry.target.id, None)
+                    else:
+                        values[entry.target.id] = prov
+        elif isinstance(entry, ast.AugAssign):
+            self._kill(entry.target, values)
+        elif isinstance(entry, (ast.For, ast.AsyncFor)):
+            # Loop targets hold *elements*, not the collection.
+            self._kill(entry.target, values)
+        return _ProvState(values)
 
-    def _visit_comp(
-        self, node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp]
-    ) -> None:
-        for gen in node.generators:
-            self._check_iter(gen.iter, node)
-        self.generic_visit(node)
 
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._visit_comp(node)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._visit_comp(node)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._visit_comp(node)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._visit_comp(node)
+def _unordered_reason(
+    iter_node: ast.expr, analysis: _ProvAnalysis, state: _ProvState
+) -> Optional[str]:
+    """Why iterating ``iter_node`` is order-hazardous, or None."""
+    if isinstance(iter_node, ast.Name):
+        known = state.locals.get(iter_node.id)
+        if known == _ORDERED:
+            return None
+        if known == _UNORDERED:
+            return f"local '{iter_node.id}' carrying set contents"
+        if iter_node.id in analysis.set_names:
+            return f"set-typed name '{iter_node.id}'"
+        return None
+    if isinstance(iter_node, ast.Attribute) and iter_node.attr in analysis.set_attrs:
+        return f"set-typed attribute '.{iter_node.attr}'"
+    if _is_set_expr(iter_node):
+        return "set expression"
+    if isinstance(iter_node, ast.Call):
+        owner, attr = _call_name(iter_node.func)
+        if attr == "keys" and owner is not None:
+            # dict.keys() on the emission path: flagged so the
+            # ordering contract (insertion order) is made explicit
+            # with sorted() rather than relied on silently.
+            return "dict .keys() view"
+        if owner is None and attr in {"list", "tuple", "iter"} and iter_node.args:
+            return _unordered_reason(iter_node.args[0], analysis, state)
+    return None
 
 
 @register
 class NoUnsortedSetIterationOnEmissionPaths(Rule):
+    """Flow-sensitive DET002: iteration order hazards on emission paths.
+
+    Runs the ordered-provenance dataflow over every function in an
+    emission context, so ``x = sorted(self.pending)`` followed by
+    ``for m in x`` is proven clean (no allowlisting needed), while
+    ``x = self.pending`` followed by ``for m in x`` is caught even
+    though ``x`` itself is never annotated as a set.
+    """
+
     rule_id = "DET002"
     title = "no unsorted set/dict-keys iteration where messages are emitted"
 
@@ -341,11 +387,57 @@ class NoUnsortedSetIterationOnEmissionPaths(Rule):
         collector = _SetTypeCollector()
         collector.visit(mod.tree)
         set_attrs = collector.attrs | set(config.known_set_attrs)
-        visitor = _Det002Visitor(
-            self, mod, collector.names, set_attrs, set(config.emission_calls)
-        )
-        visitor.visit(mod.tree)
-        return iter(visitor.findings)
+        emission = set(config.emission_calls)
+        findings: List[Finding] = []
+
+        functions = iter_functions(mod.tree)
+        # A function is in emission context when its own body (incl.
+        # nested defs — ast.walk) emits, or any enclosing function does.
+        emitting = {
+            qual for qual, node, _cls in functions if _function_emits(node, emission)
+        }
+
+        for qualname, node, _cls in functions:
+            active = qualname in emitting or any(
+                qualname.startswith(parent + ".") for parent in emitting
+            )
+            if not active:
+                continue
+            analysis = _ProvAnalysis(collector.names, set_attrs)
+            cfg = build_cfg(node)
+
+            def visit(entry: CFGEntry, state: _ProvState) -> None:
+                sites: List[Tuple[ast.expr, ast.AST]] = []
+                if isinstance(entry, (ast.For, ast.AsyncFor)):
+                    sites.append((entry.iter, entry))
+                for sub in iter_child_expressions(entry):
+                    if isinstance(
+                        sub,
+                        (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                    ):
+                        for gen in sub.generators:
+                            sites.append((gen.iter, sub))
+                for iter_node, anchor in sites:
+                    # sorted(...) is the sanctioned ordering fence.
+                    if isinstance(iter_node, ast.Call):
+                        owner, attr = _call_name(iter_node.func)
+                        if owner is None and attr == "sorted":
+                            continue
+                    reason = _unordered_reason(iter_node, analysis, state)
+                    if reason is not None:
+                        findings.append(
+                            self.finding(
+                                mod,
+                                anchor,
+                                f"iteration over {reason} in an emission "
+                                f"context without sorted(...) — set order may "
+                                f"leak into the event schedule",
+                                qualname,
+                            )
+                        )
+
+            analyze(cfg, analysis, visit)
+        return iter(findings)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,192 @@
+"""EFF3xx — effect/purity contracts checked via the summary layer.
+
+* **EFF301** — a function declared pure (by the ``@pure`` marker
+  decorator or the config's ``declared_pure`` patterns) must have an
+  empty transitive write effect: no ``self`` writes, no foreign-object
+  writes, no sends. The paper's timestamp predicates (local-ts, min-ts,
+  final-ts — Algorithm 1 lines 9/12/19) are mathematical functions of
+  the recorded tuple set; the differential tests call them at arbitrary
+  points mid-execution, which is only sound if they observe without
+  perturbing.
+* **EFF302** — observer modules (``repro.verify``, ``repro.core.spec``)
+  must be read-only on *foreign* protocol state: a monitor may keep its
+  own books (``self.acks`` of a recorder is its own state) and may
+  rebind wrapper hooks, but a write that reaches a process's shared
+  protocol attributes (``proc.clock = …``, ``self.proc.pending.add(…)``)
+  would let the measurement instrument corrupt the experiment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from .base import Finding, ModuleInfo, Rule, register
+from .config import AnalysisConfig
+from .effects import compute_module_effects
+
+
+def _has_pure_decorator(node: ast.AST, config: AnalysisConfig) -> bool:
+    decorators = getattr(node, "decorator_list", [])
+    for dec in decorators:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name in config.pure_decorators:
+            return True
+    return False
+
+
+@register
+class Eff301DeclaredPureWrites(Rule):
+    """Declared-pure functions must have an empty write effect."""
+
+    rule_id = "EFF301"
+    title = "declared-pure function has a write/send effect"
+    default_severity = "error"
+
+    def check(self, mod: ModuleInfo, config: AnalysisConfig) -> Iterator[Finding]:
+        effects = compute_module_effects(mod, config)
+        for info in effects.functions.values():
+            declared = config.is_declared_pure(
+                mod.module, info.qualname
+            ) or _has_pure_decorator(info.node, config)
+            if not declared:
+                continue
+            eff = info.effects
+            problems: List[str] = []
+            if eff.writes:
+                problems.append(f"writes self.{{{', '.join(sorted(eff.writes))}}}")
+            if eff.foreign_writes:
+                problems.append(
+                    "writes foreign "
+                    f"{{{', '.join(sorted(eff.foreign_writes))}}}"
+                )
+            if eff.sends:
+                problems.append("sends messages")
+            if problems:
+                yield self.finding(
+                    mod,
+                    info.node,
+                    f"declared pure but {'; '.join(problems)} "
+                    "(transitively); drop the declaration or the effect",
+                    context=info.qualname,
+                )
+
+
+@register
+class Eff302ObserverWritesProtocolState(Rule):
+    """Verify/monitor code must be read-only on foreign protocol state."""
+
+    rule_id = "EFF302"
+    title = "observer mutates protocol state of an observed process"
+    default_severity = "error"
+
+    def applies_to(self, module: str, config: AnalysisConfig) -> bool:
+        scope = config.scope_override.get(self.rule_id, config.eff_readonly_scope)
+        return any(
+            module == prefix or module.startswith(prefix + ".") for prefix in scope
+        )
+
+    def check(self, mod: ModuleInfo, config: AnalysisConfig) -> Iterator[Finding]:
+        protected = set(config.race_shared_attrs)
+        visitor = _ForeignWriteVisitor(config, protected)
+        visitor.visit(mod.tree)
+        for attr, node, context in visitor.hits:
+            yield self.finding(
+                mod,
+                node,
+                f"observer writes protocol attribute {attr!r} of an observed "
+                "object; monitors must be read-only on protocol state",
+                context=context,
+            )
+
+
+class _ForeignWriteVisitor(ast.NodeVisitor):
+    """Writes to protected attrs through non-bare-self receivers, with
+    accurate per-node locations (the summary layer only has sets)."""
+
+    def __init__(self, config: AnalysisConfig, protected: set[str]) -> None:
+        self.config = config
+        self.protected = protected
+        self.hits: List[tuple[str, ast.AST, str]] = []
+        self._stack: List[str] = []
+
+    @property
+    def _context(self) -> str:
+        return ".".join(self._stack)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    # -- stores --------------------------------------------------------
+
+    def _check_store(self, target: ast.expr) -> None:
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_store(target.value)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        if target.attr not in self.protected:
+            return
+        # ``self.clock = …`` is the observer's own attribute — fine.
+        # ``proc.clock = …`` / ``self.proc.clock = …`` is foreign.
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            return
+        self.hits.append((target.attr, target, self._context))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    # -- mutator calls -------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self.config.mutator_methods
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr in self.protected
+        ):
+            receiver = func.value.value
+            is_own = isinstance(receiver, ast.Name) and receiver.id == "self"
+            if not is_own:
+                self.hits.append((func.value.attr, func.value, self._context))
+        self.generic_visit(node)

@@ -12,10 +12,32 @@ from __future__ import annotations
 import ast
 import dataclasses
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 from .base import RULES, Finding, ModuleInfo, Rule
 from .config import DEFAULT_CONFIG, AnalysisConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .cache import AnalysisCache
+
+
+class AnalysisError(Exception):
+    """An internal failure of the analysis itself (a rule crashed).
+
+    Distinct from findings: findings are facts about the analysed code,
+    an :class:`AnalysisError` is a bug in *this* package. The CLI maps
+    it to exit code 2 (vs 1 for findings) and the message names the
+    offending file and rule so a CI failure is immediately diagnosable.
+    """
+
+    def __init__(self, path: str, rule_id: str, cause: BaseException) -> None:
+        self.path = path
+        self.rule_id = rule_id
+        self.cause = cause
+        super().__init__(
+            f"internal analysis error in {path} (rule {rule_id}): "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 def module_name_for(path: Path) -> str:
@@ -66,13 +88,16 @@ def analyze_module(
     for rule in active:
         if not rule.applies_to(mod.module, config):
             continue
-        for finding in rule.check(mod, config):
-            if config.is_allowed(finding.rule, finding.context):
-                continue
-            severity = config.severity_for(finding.rule, finding.severity)
-            if severity != finding.severity:
-                finding = dataclasses.replace(finding, severity=severity)
-            findings.append(finding)
+        try:
+            for finding in rule.check(mod, config):
+                if config.is_allowed(finding.rule, finding.context):
+                    continue
+                severity = config.severity_for(finding.rule, finding.severity)
+                if severity != finding.severity:
+                    finding = dataclasses.replace(finding, severity=severity)
+                findings.append(finding)
+        except Exception as exc:
+            raise AnalysisError(mod.path, rule.rule_id, exc) from exc
     return findings
 
 
@@ -80,11 +105,25 @@ def analyze_paths(
     paths: Sequence[Path],
     config: AnalysisConfig = DEFAULT_CONFIG,
     rules: Optional[Iterable[Rule]] = None,
+    cache: Optional["AnalysisCache"] = None,
 ) -> List[Finding]:
-    """Analyse every python file under ``paths``; sorted, filtered."""
+    """Analyse every python file under ``paths``; sorted, filtered.
+
+    With a ``cache``, files whose content hash was analysed before (by
+    the same analysis version / config / rule set — all folded into the
+    cache fingerprint) are served without parsing or rule execution.
+    """
     active = list(rules) if rules is not None else list(RULES.values())
     findings: List[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(analyze_module(load_module(path), config, active))
+        if cache is not None:
+            cached = cache.get(path)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+        file_findings = analyze_module(load_module(path), config, active)
+        if cache is not None:
+            cache.put(path, file_findings)
+        findings.extend(file_findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -187,12 +187,38 @@ class DispatchHandlersExist(Rule):
 
 
 class _Proto103Visitor(ContextVisitor):
-    def __init__(self, rule: Rule, mod: ModuleInfo, config: "AnalysisConfig") -> None:
+    def __init__(
+        self,
+        rule: Rule,
+        mod: ModuleInfo,
+        config: "AnalysisConfig",
+        wire_classes: Set[str],
+    ) -> None:
         super().__init__()
         self.rule = rule
         self.mod = mod
         self.config = config
+        #: Wire-message classes of this module: their ``__init__`` writes
+        #: of ``clock`` / ``e_cur`` / ``e_prom`` are *payload capture*
+        #: (the message records the sender's state as a field, Algorithm
+        #: 3 line 64), not a mutation of the protocol variables.
+        self.wire_classes = wire_classes
+        self._class_stack: List[str] = []
+
         self.findings: List[Finding] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        super().visit_ClassDef(node)
+        self._class_stack.pop()
+
+    def _in_wire_message_init(self) -> bool:
+        return (
+            bool(self._class_stack)
+            and self._class_stack[-1] in self.wire_classes
+            and bool(self._stack)
+            and self._stack[-1] == "__init__"
+        )
 
     def _check_target(self, target: ast.expr, node: ast.AST) -> None:
         if not (
@@ -203,6 +229,8 @@ class _Proto103Visitor(ContextVisitor):
             return
         allowed = self.config.state_conformance.get(target.attr)
         if allowed is None or self.mod.module in allowed:
+            return
+        if self._in_wire_message_init():
             return
         self.findings.append(
             self.rule.finding(
@@ -243,6 +271,17 @@ class ProtocolStateConformance(Rule):
         )
 
     def check(self, mod: ModuleInfo, config: "AnalysisConfig") -> Iterator[Finding]:
-        visitor = _Proto103Visitor(self, mod, config)
+        wire_classes: Set[str] = set()
+        if mod.module in config.wire_message_modules:
+            for stmt in mod.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    kind = _class_kind_value(stmt)
+                    if (
+                        kind is not None
+                        and isinstance(kind, ast.Constant)
+                        and isinstance(kind.value, str)
+                    ):
+                        wire_classes.add(stmt.name)
+        visitor = _Proto103Visitor(self, mod, config, wire_classes)
         visitor.visit(mod.tree)
         return iter(visitor.findings)

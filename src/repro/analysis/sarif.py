@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 emission for the analysis findings.
+
+One run, one tool (``repro.analysis``), one rule descriptor per
+registered rule, one result per finding. The shape follows the OASIS
+SARIF 2.1.0 schema closely enough for GitHub code scanning ingestion:
+
+* ``level`` maps ``error`` -> ``error`` and everything else ->
+  ``warning``;
+* ``physicalLocation`` uses 1-based lines (already 1-based in the AST)
+  and 1-based columns (AST columns are 0-based, hence the ``+ 1``);
+* ``ruleIndex`` points into the ``tool.driver.rules`` array so viewers
+  can resolve titles without a join.
+
+The output is deterministic: rules are sorted by id, results arrive in
+the engine's sorted order, and ``json.dumps`` preserves dict insertion
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from .base import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro.analysis"
+_INFO_URI = "https://github.com/primcast-repro"  # repo landing page
+
+
+def _level_for(severity: str) -> str:
+    return "error" if severity == "error" else "warning"
+
+
+def sarif_report(
+    findings: Sequence[Finding], rules: Mapping[str, Rule]
+) -> Dict[str, Any]:
+    """Build the complete SARIF 2.1.0 log object (JSON-serialisable)."""
+    rule_ids = sorted(rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    descriptors: List[Dict[str, Any]] = [
+        {
+            "id": rule_id,
+            "name": type(rules[rule_id]).__name__,
+            "shortDescription": {"text": rules[rule_id].title},
+            "defaultConfiguration": {
+                "level": _level_for(rules[rule_id].default_severity)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": _level_for(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        if finding.context:
+            # logicalLocations carries the module::qualname context the
+            # allowlist keys on — reviewers suppress from the report.
+            result["locations"][0]["logicalLocations"] = [
+                {"fullyQualifiedName": finding.context}
+            ]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

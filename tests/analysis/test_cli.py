@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.analysis.base import RULES
 from repro.analysis.cli import main
 from repro.analysis.engine import module_name_for
 
@@ -95,3 +96,141 @@ def test_module_name_derivation():
     )
     assert module_name_for(Path("src/repro/sim/__init__.py")) == "repro.sim"
     assert module_name_for(Path("elsewhere/tool.py")) == "tool"
+
+
+# -- SARIF ----------------------------------------------------------------
+
+
+def test_sarif_report_to_file(tmp_path, capsys):
+    path = _write_scoped(tmp_path, "bad.py", BAD_SOURCE)
+    sarif_path = tmp_path / "out.sarif"
+    assert main([str(path), "--sarif", str(sarif_path)]) == 1
+    capsys.readouterr()
+
+    log = json.loads(sarif_path.read_text())
+    assert log["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in log["$schema"]
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    # One descriptor per registered rule, sorted by id.
+    ids = [r["id"] for r in driver["rules"]]
+    assert ids == sorted(RULES)
+
+    result = next(r for r in run["results"] if r["ruleId"] == "DET001")
+    assert result["level"] == "error"
+    assert ids[result["ruleIndex"]] == "DET001"
+    (location,) = result["locations"]
+    region = location["physicalLocation"]["region"]
+    assert region["startLine"] == 5
+    assert region["startColumn"] >= 1  # SARIF columns are 1-based
+    (logical,) = location["logicalLocations"]
+    assert logical["fullyQualifiedName"].startswith("repro.core.bad::")
+
+
+def test_sarif_clean_run_has_empty_results(tmp_path, capsys):
+    path = _write_scoped(tmp_path, "good.py", GOOD_SOURCE)
+    assert main([str(path), "--sarif", "-"]) == 0
+    out = capsys.readouterr().out
+    log, _ = json.JSONDecoder().raw_decode(out)
+    assert log["runs"][0]["results"] == []
+    # Rule metadata ships even without findings.
+    assert log["runs"][0]["tool"]["driver"]["rules"]
+
+
+# -- incremental cache ----------------------------------------------------
+
+
+def _json_run(argv, capsys):
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+def test_cache_warm_run_reproduces_cold_findings(tmp_path, capsys):
+    _write_scoped(tmp_path, "bad.py", BAD_SOURCE)
+    _write_scoped(tmp_path, "good.py", GOOD_SOURCE)
+    cache_dir = tmp_path / "cache"
+    argv = [str(tmp_path / "repro"), "--json", "--cache-dir", str(cache_dir)]
+
+    code, cold = _json_run(argv, capsys)
+    assert code == 1
+    assert cold["cache"] == {"hits": 0, "misses": 2}
+
+    code, warm = _json_run(argv, capsys)
+    assert code == 1
+    assert warm["cache"] == {"hits": 2, "misses": 0}
+    assert warm["findings"] == cold["findings"]
+
+
+def test_cache_hit_skips_parsing_entirely(tmp_path, capsys, monkeypatch):
+    _write_scoped(tmp_path, "bad.py", BAD_SOURCE)
+    cache_dir = tmp_path / "cache"
+    argv = [str(tmp_path / "repro"), "--json", "--cache-dir", str(cache_dir)]
+    _json_run(argv, capsys)
+
+    # A warm run must not even load the file: break load_module and the
+    # findings still come back, byte-identical, from the cache.
+    import repro.analysis.engine as engine
+
+    def boom(path):
+        raise AssertionError(f"cache miss parsed {path}")
+
+    monkeypatch.setattr(engine, "load_module", boom)
+    code, warm = _json_run(argv, capsys)
+    assert code == 1
+    assert warm["cache"] == {"hits": 1, "misses": 0}
+
+
+def test_cache_invalidated_by_content_change(tmp_path, capsys):
+    path = _write_scoped(tmp_path, "bad.py", BAD_SOURCE)
+    cache_dir = tmp_path / "cache"
+    argv = [str(tmp_path / "repro"), "--json", "--cache-dir", str(cache_dir)]
+    _json_run(argv, capsys)
+
+    path.write_text(GOOD_SOURCE)
+    code, rerun = _json_run(argv, capsys)
+    assert code == 0
+    assert rerun["cache"] == {"hits": 0, "misses": 1}
+    assert rerun["findings"] == []
+
+
+def test_cache_keyed_by_rule_set(tmp_path, capsys):
+    """Different --rule selections get different fingerprints: a cached
+    full-run result must not answer for a restricted run."""
+    _write_scoped(tmp_path, "bad.py", BAD_SOURCE)
+    cache_dir = tmp_path / "cache"
+    base = [str(tmp_path / "repro"), "--json", "--cache-dir", str(cache_dir)]
+    _json_run(base, capsys)
+
+    code, restricted = _json_run(base + ["--rule", "DET003"], capsys)
+    assert code == 0
+    assert restricted["cache"] == {"hits": 0, "misses": 1}
+
+
+# -- internal errors ------------------------------------------------------
+
+
+class _CrashingRule:
+    rule_id = "CRASH999"
+    title = "deliberately crashing test rule"
+    default_severity = "error"
+
+    def applies_to(self, module, config):
+        return True
+
+    def check(self, mod, config):
+        raise ZeroDivisionError("rule bug")
+
+
+def test_internal_rule_error_exits_two_naming_the_file(
+    tmp_path, capsys, monkeypatch
+):
+    path = _write_scoped(tmp_path, "good.py", GOOD_SOURCE)
+    monkeypatch.setitem(RULES, "CRASH999", _CrashingRule())
+    assert main([str(path)]) == 2
+    err = capsys.readouterr().err
+    # Exit 2 (not 1): this is a bug in the analysis, not a finding —
+    # and the message names the file and rule for diagnosis.
+    assert str(path) in err
+    assert "CRASH999" in err
+    assert "ZeroDivisionError" in err

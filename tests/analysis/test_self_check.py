@@ -1,16 +1,24 @@
-"""The shipped source tree must analyse clean.
+"""The shipped source tree must analyse clean — and the analysis must
+be able to prove it would notice if it weren't.
 
 This is the wiring of the lint pass into the tier-1 suite: any commit
 that introduces a determinism or protocol-contract hazard in
 ``src/repro`` fails here, with the same findings ``python -m
-repro.analysis`` would print.
+repro.analysis`` would print. On top of the clean-tree check, this file
+pins the allowlist discipline (every exemption justified and still
+real) and plants a known RACE202 bug to prove the flow-sensitive rules
+actually fire on the real protocol core.
 """
 
+import ast
 from pathlib import Path
 
-from repro.analysis import DEFAULT_CONFIG, RULES, analyze_paths
+from repro.analysis import DEFAULT_CONFIG, RULES, AnalysisConfig, analyze_paths
+from repro.analysis.engine import analyze_module, load_module
 
-SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+REPO = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO / "src" / "repro"
+CONFIG_PY = SRC_REPRO / "analysis" / "config.py"
 
 
 def test_source_tree_exists():
@@ -22,25 +30,116 @@ def test_shipped_tree_is_clean():
     assert findings == [], "\n".join(f.format() for f in findings)
 
 
+def test_whole_tree_analyzes_without_crashes():
+    """Every module under src/repro must run through every rule without
+    an internal error — even with the allowlist off (AnalysisError would
+    propagate out of analyze_paths and fail this test)."""
+    analyze_paths([SRC_REPRO], AnalysisConfig(allow={}))
+
+
 def test_all_rules_were_in_play():
     """The clean result must come from running every registered rule,
-    not from an accidentally empty registry."""
-    assert len(RULES) >= 7
+    not from an accidentally empty registry. 13 = DET001-4, EFF301-302,
+    PERF001, PROTO101-103, RACE201-203."""
+    assert len(RULES) >= 13
 
 
 def test_known_violations_exist_without_the_reviewed_allowlist():
     """The built-in allowlist is load-bearing: without it, the reviewed
-    exemptions (Envelope's per-payload kind, EpochPromise's field
-    capture) surface as findings. This pins that the exemptions are
-    still real code, so stale allowlist entries get noticed."""
-    from repro.analysis import AnalysisConfig
-
+    exemptions (Envelope's per-payload kind, the standing-proposal-rule
+    RACE202 sites in PrimCastProcess) surface as findings. This pins
+    that the exemptions are still real code, so stale allowlist entries
+    get noticed."""
     findings = analyze_paths([SRC_REPRO], AnalysisConfig(allow={}))
     contexts = {f.context for f in findings}
     assert "repro.rmcast.fifo::Envelope" in contexts
-    assert "repro.core.messages::EpochPromise.__init__" in contexts
+    # Algorithm 1 line 35 / Algorithm 3 lines 75-81 mandate
+    # propose-after-ack; the three suppressed send-then-mutate sites
+    # must keep existing or the RACE202 allow entries are stale.
+    assert "repro.core.process::PrimCastProcess._on_ack" in contexts
+    assert "repro.core.process::PrimCastProcess._on_new_state" in contexts
+    assert "repro.core.process::PrimCastProcess._check_epoch_activation" in contexts
     # And nothing else: every finding is a reviewed exemption.
     for finding in findings:
         assert DEFAULT_CONFIG.is_allowed(finding.rule, finding.context), (
             finding.format()
         )
+
+
+def _comment_gaps_ok(source_lines, anchors, region_start):
+    """Each anchor line must have at least one comment line between it
+    and the previous anchor (or the region start). Returns the anchors
+    that lack one."""
+    missing = []
+    prev_end = region_start
+    for start, end, label in anchors:
+        gap = source_lines[prev_end : start - 1]
+        if not any(line.lstrip().startswith("#") for line in gap):
+            missing.append(label)
+        prev_end = end
+    return missing
+
+
+def test_every_allowlist_entry_is_justified():
+    """Allowlist discipline: each DEFAULT_ALLOW rule entry and each
+    SCHEDULER_CONTEXT_API pattern must carry a justification comment
+    directly above it in config.py. An exemption nobody can explain is
+    an exemption that should not exist."""
+    source = CONFIG_PY.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source)
+
+    allow_node = None
+    sched_node = None
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            target = node.targets[0] if isinstance(node, ast.Assign) else node.target
+            if isinstance(target, ast.Name):
+                if target.id == "DEFAULT_ALLOW":
+                    allow_node = node
+                elif target.id == "SCHEDULER_CONTEXT_API":
+                    sched_node = node
+    assert allow_node is not None and sched_node is not None
+
+    allow_dict = allow_node.value
+    assert isinstance(allow_dict, ast.Dict)
+    anchors = [
+        (key.lineno, value.end_lineno, f"DEFAULT_ALLOW[{key.value!r}]")
+        for key, value in zip(allow_dict.keys, allow_dict.values)
+    ]
+    missing = _comment_gaps_ok(lines, anchors, allow_dict.lineno)
+
+    sched_tuple = sched_node.value
+    assert isinstance(sched_tuple, ast.Tuple)
+    anchors = [
+        (elt.lineno, elt.end_lineno, f"SCHEDULER_CONTEXT_API[{elt.value!r}]")
+        for elt in sched_tuple.elts
+    ]
+    missing += _comment_gaps_ok(lines, anchors, sched_tuple.lineno)
+
+    assert missing == [], f"allowlist entries without a justification comment: {missing}"
+
+
+def test_planted_race202_is_caught(tmp_path):
+    """Seed a post-send protocol-state mutation into the real
+    PrimCastProcess._propose and verify RACE202 fires on it with the
+    *default* config — _propose is not an allowlisted context, so the
+    suppression of the three reviewed sites cannot mask a fresh bug."""
+    source = (SRC_REPRO / "core" / "process.py").read_text(encoding="utf-8")
+    send_line = "        self._send_ack(multicast, self.e_cur, self.clock)\n"
+    assert source.count(send_line) == 1  # unique to _propose
+    planted = source.replace(
+        send_line, send_line + "        self.clock += 1\n"
+    )
+    # Keep the repro/core/ layout so module naming (and therefore the
+    # RACE scope and the allowlist contexts) match the real tree.
+    target = tmp_path / "repro" / "core" / "process.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(planted, encoding="utf-8")
+
+    findings = analyze_module(load_module(target), DEFAULT_CONFIG)
+    race202 = [f for f in findings if f.rule == "RACE202"]
+    assert race202, "planted post-send clock mutation was not detected"
+    assert any(
+        f.context == "repro.core.process::PrimCastProcess._propose" for f in race202
+    ), "\n".join(f.format() for f in race202)
