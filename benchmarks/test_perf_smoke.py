@@ -23,6 +23,9 @@ from dataclasses import asdict
 from repro.harness.perf import (
     SEED_BASELINE,
     batching_delta,
+    measure_campaign_pool,
+    measure_chaos_campaign,
+    measure_fleet_scale,
     measure_load_point,
     measure_steady_state,
     measure_sweep_scaling,
@@ -111,6 +114,66 @@ def test_parallel_sweep_and_result_cache_scaling():
     assert scaling["warm_ran"] == 0
     assert scaling["warm_hits"] == scaling["points"]
     assert scaling["warm_cache_s"] < scaling["serial_s"]
+
+
+def test_campaign_pool_runtime():
+    """Persistent worker-pool campaign runtime, recorded as the
+    ``campaign_pool`` section of BENCH_perf.json.
+
+    Three sub-measurements, all hard-gated (DESIGN.md §11):
+
+    * **overhead** — a 200-case campaign of free probe specs through the
+      pre-PR-8 fresh-``Pool``-per-sweep path vs one persistent
+      :class:`WorkerPool`; the pool must cut non-simulation overhead
+      (spawn + import + dispatch) >= 3x at the same job count;
+    * **thousand-seed chaos campaign** — must complete clean, and a
+      resume over the streamed-in result cache must re-execute zero
+      cases while reproducing the byte-identical report;
+    * **fleet scale** — the paper's 8-group/24-process deployment at
+      d=8 plus the 20-group/60-process LAN fleet, pooled rows
+      field-for-field identical to serial.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "0")) or 2
+    overhead = measure_campaign_pool(jobs=jobs)
+    campaign = measure_chaos_campaign(jobs=jobs)
+    fleet = measure_fleet_scale(jobs=jobs)
+    payload = {"overhead": overhead, "chaos_campaign": campaign, "fleet": fleet}
+    update_bench("campaign_pool", payload)
+    print(
+        f"\ncampaign_pool: {overhead['cases']} cases, fresh-pool "
+        f"{overhead['fresh_pool_s']:.2f}s vs persistent "
+        f"{overhead['persistent_pool_s']:.2f}s "
+        f"({overhead['overhead_reduction']:.1f}x); "
+        f"{campaign['seeds']}-seed campaign {campaign['cold_s']:.1f}s "
+        f"({campaign['violations']} violations), resume "
+        f"{campaign['resume_simulated']} re-runs; fleet "
+        f"{fleet['max_processes']} procs identical={fleet['identical']}"
+    )
+    # Amortized fan-out: the acceptance bar is >= 3x less orchestration
+    # overhead than the fresh-pool-per-sweep path on a >= 200-case
+    # campaign.
+    assert overhead["cases"] >= 200
+    assert overhead["overhead_reduction"] >= 3.0, (
+        f"persistent pool overhead gate: {overhead['overhead_reduction']:.2f}x "
+        f"< 3x ({overhead['persistent_pool_s']:.3f}s vs fresh "
+        f"{overhead['fresh_pool_s']:.3f}s)"
+    )
+    # Workers are spawned once and reused across every batch.
+    assert overhead["pool"]["spawned"] == jobs
+    assert overhead["pool"]["batches"] == overhead["batches"]
+    # The 1000-seed campaign completes clean and checkpoint/resume is
+    # exact: zero re-executions, byte-identical report.
+    assert campaign["seeds"] >= 1000
+    assert campaign["violations"] == 0
+    assert campaign["cold_simulated"] == campaign["seeds"]
+    assert campaign["resume_simulated"] == 0
+    assert campaign["resume_hits"] == campaign["seeds"]
+    assert campaign["resume_identical"]
+    # Fleet scale: >= 8 groups (24+ processes) through the pool, rows
+    # identical to serial.
+    assert fleet["max_processes"] >= 60
+    assert any(p["processes"] >= 24 for p in fleet["points"])
+    assert fleet["identical"]
 
 
 def test_steady_state_memory_bound():

@@ -39,6 +39,7 @@ DET_SCOPE: Tuple[str, ...] = (
     "repro.consensus",
     "repro.harness.parallel",
     "repro.harness.cache",
+    "repro.harness.pool",
     "repro.chaos",
 )
 

@@ -30,7 +30,15 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
-from .explorer import CHAOS_SCENARIOS, MUTATIONS, CaseSpec, run_campaign, run_case
+from ..harness.parallel import SweepExecutor
+from .explorer import (
+    CHAOS_SCENARIOS,
+    MUTATIONS,
+    CaseSpec,
+    ProgressFn,
+    run_campaign,
+    run_case,
+)
 from .shrink import shrink_case
 
 #: Replay file format version (bumped on incompatible changes).
@@ -83,6 +91,31 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="J",
         help="worker processes (default: 1; report is identical either way)",
+    )
+    run_p.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="case budget; seeds beyond it are skipped and reported as "
+        "skipped_seeds (never silently dropped)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache: completed cases checkpoint "
+        "here as they finish, so a killed campaign re-run with the same "
+        "cache resumes with zero re-executions (default: no cache)",
+    )
+    run_p.add_argument(
+        "--progress-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print campaign progress to stderr every N completed cases "
+        "(default: 0 = only the final stats line)",
     )
     run_p.add_argument(
         "--json", action="store_true", help="emit the full JSON campaign report"
@@ -146,12 +179,50 @@ def _dump(data: Dict[str, Any]) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
-    report = run_campaign(
-        args.scenario,
-        seeds,
-        mutation=args.mutation,
-        allow_over_budget=args.allow_over_budget,
-        jobs=args.jobs,
+
+    # Progress and executor stats go to stderr only: stdout (--json) and
+    # --out carry the canonical report, which must stay byte-identical
+    # across jobs/cache settings (the CI campaign-smoke job cmp's them).
+    progress: Optional[ProgressFn] = None
+    if args.progress_every > 0:
+        every = args.progress_every
+
+        def _emit_progress(done: int, total: int, violations: int) -> None:
+            if done % every == 0 or done == total:
+                print(
+                    f"chaos progress: {done}/{total} cases, "
+                    f"{violations} violations",
+                    file=sys.stderr,
+                )
+
+        progress = _emit_progress
+
+    cache = None
+    if args.cache_dir is not None:
+        from ..harness.cache import ResultCache
+
+        cache = ResultCache(root=args.cache_dir)
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    try:
+        report = run_campaign(
+            args.scenario,
+            seeds,
+            mutation=args.mutation,
+            allow_over_budget=args.allow_over_budget,
+            executor=executor,
+            max_cases=args.max_cases,
+            progress=progress,
+        )
+        stats = dict(executor.total_stats)
+        pool_stats = executor.pool_stats()
+    finally:
+        executor.close()
+    print(
+        f"chaos campaign: cases={stats['points']} cached={stats['hits']} "
+        f"simulated={stats['ran']} jobs={args.jobs} "
+        f"workers={pool_stats.get('spawned', 0)} "
+        f"skipped={len(report.skipped_seeds)}",
+        file=sys.stderr,
     )
     text = report.to_json()
     if args.out is not None:
@@ -164,6 +235,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"chaos run: scenario={args.scenario} cases={summary['cases']} "
             f"crashes={summary['crashes_applied']} "
             f"violations={summary['violations']}"
+            + (
+                f" skipped={summary['skipped_cases']}"
+                if report.skipped_seeds
+                else ""
+            )
         )
         for case in report.failing_cases:
             for violation in case.violations:

@@ -27,7 +27,17 @@ Safety checking is two-layered, violations captured as data:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.messages import MessageId, Multicast
 from ..harness.parallel import SweepExecutor, build_scenario
@@ -150,6 +160,11 @@ class CaseSpec:
             schedule_json=schedule.to_json(),
         )
 
+    @staticmethod
+    def result_from_dict(payload: Dict[str, Any]) -> "CaseResult":
+        """Cache-decode hook (``ResultCache`` dispatches on the spec)."""
+        return CaseResult.from_dict(payload)
+
     def run(self) -> "CaseResult":
         return run_case(self)
 
@@ -182,6 +197,35 @@ class CaseResult:
             "nemesis_applied": dict(sorted(self.nemesis_applied.items())),
             "events": self.events,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CaseResult":
+        """Exact inverse of :meth:`to_dict`.
+
+        The result-cache checkpoint/resume path depends on this being a
+        lossless round trip: a resumed campaign rebuilds completed cases
+        from cache entries and its report must stay byte-identical to an
+        uninterrupted run (pinned by ``tests/chaos/test_explorer.py``).
+        """
+        spec_d = payload["spec"]
+        return cls(
+            spec=CaseSpec(
+                scenario=str(spec_d["scenario"]),
+                seed=int(spec_d["seed"]),
+                mutation=str(spec_d.get("mutation", "")),
+                allow_over_budget=bool(spec_d.get("allow_over_budget", False)),
+                schedule_json=str(spec_d.get("schedule_json", "")),
+            ),
+            schedule=FaultSchedule.from_dict(payload["schedule"]),
+            violations=[Violation.from_dict(v) for v in payload["violations"]],
+            aborted=bool(payload["aborted"]),
+            delivered={int(pid): int(n) for pid, n in payload["delivered"].items()},
+            crashed=tuple(int(pid) for pid in payload["crashed"]),
+            nemesis_applied={
+                str(k): int(v) for k, v in payload["nemesis_applied"].items()
+            },
+            events=int(payload["events"]),
+        )
 
 
 def run_case(spec: CaseSpec) -> CaseResult:
@@ -294,12 +338,18 @@ def run_case(spec: CaseSpec) -> CaseResult:
 
 @dataclass
 class CampaignReport:
-    """Aggregated outcome of one campaign (stable JSON via to_json)."""
+    """Aggregated outcome of one campaign (stable JSON via to_json).
+
+    ``skipped_seeds`` records cases cut by a ``max_cases`` budget: a
+    truncated campaign must never read as complete, so the skips appear
+    both as their own top-level list and as ``summary.skipped_cases``.
+    """
 
     scenario: str
     seeds: List[int]
     mutation: str
     cases: List[CaseResult] = field(default_factory=list)
+    skipped_seeds: List[int] = field(default_factory=list)
 
     @property
     def failing_cases(self) -> List[CaseResult]:
@@ -308,10 +358,11 @@ class CampaignReport:
     def to_dict(self) -> Dict[str, Any]:
         failing = self.failing_cases
         return {
-            "version": 1,
+            "version": 2,
             "scenario": self.scenario,
             "mutation": self.mutation,
             "seeds": list(self.seeds),
+            "skipped_seeds": list(self.skipped_seeds),
             "summary": {
                 "cases": len(self.cases),
                 "violating_cases": len(failing),
@@ -321,6 +372,7 @@ class CampaignReport:
                     c.nemesis_applied.get("crashes", 0) for c in self.cases
                 ),
                 "events": sum(c.events for c in self.cases),
+                "skipped_cases": len(self.skipped_seeds),
             },
             "cases": [case.to_dict() for case in self.cases],
         }
@@ -331,6 +383,12 @@ class CampaignReport:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
 
 
+#: ``run_campaign`` progress callback: (cases done, cases total,
+#: violations so far). Fired after every completed case — cache hits in
+#: seed order first, then simulated cases in completion order.
+ProgressFn = Callable[[int, int, int], None]
+
+
 def run_campaign(
     scenario: str,
     seeds: Sequence[int],
@@ -338,17 +396,38 @@ def run_campaign(
     allow_over_budget: bool = False,
     jobs: int = 1,
     executor: Optional[SweepExecutor] = None,
+    cache: Optional[Any] = None,
+    max_cases: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> CampaignReport:
     """Run one case per seed and aggregate the violations.
 
-    Results are merged in seed order regardless of ``jobs``, so the
-    report is byte-identical across parallelism settings.
+    Cases are dispatched through the persistent worker pool of a
+    :class:`~repro.harness.parallel.SweepExecutor` (work-stealing for
+    heterogeneous case lengths) and merged in seed order regardless of
+    ``jobs``, so the report is byte-identical across parallelism
+    settings. With a ``cache``, every completed case streams into the
+    content-addressed result cache the moment it finishes: a killed
+    campaign re-run with the same cache resumes with zero re-executions
+    of completed cases, and the resumed report is byte-identical to an
+    uninterrupted run.
+
+    ``max_cases`` truncates the campaign; truncation is never silent —
+    the cut seeds land in :attr:`CampaignReport.skipped_seeds`.
+    ``progress`` (see :data:`ProgressFn`) fires after every completed
+    case; it is keyed on case counts, not wall-clock, so the report
+    stays deterministic.
     """
     if scenario not in CHAOS_SCENARIOS:
         raise ValueError(
             f"unknown chaos scenario {scenario!r}; pick from "
             f"{sorted(CHAOS_SCENARIOS)}"
         )
+    run_seeds = list(seeds)
+    skipped: List[int] = []
+    if max_cases is not None and len(run_seeds) > max_cases:
+        skipped = run_seeds[max_cases:]
+        run_seeds = run_seeds[:max_cases]
     specs = [
         CaseSpec(
             scenario=scenario,
@@ -356,14 +435,31 @@ def run_campaign(
             mutation=mutation,
             allow_over_budget=allow_over_budget,
         )
-        for seed in seeds
+        for seed in run_seeds
     ]
+    owns_executor = executor is None
     if executor is None:
-        executor = SweepExecutor(jobs=jobs)
-    results: List[CaseResult] = list(executor.run(specs))
+        executor = SweepExecutor(jobs=jobs, cache=cache)
+
+    done = 0
+    violations_so_far = 0
+
+    def on_result(index: int, spec: Any, result: Any) -> None:
+        nonlocal done, violations_so_far
+        done += 1
+        violations_so_far += len(result.violations)
+        if progress is not None:
+            progress(done, len(specs), violations_so_far)
+
+    try:
+        results: List[CaseResult] = list(executor.run(specs, on_result=on_result))
+    finally:
+        if owns_executor:
+            executor.close()
     return CampaignReport(
         scenario=scenario,
-        seeds=list(seeds),
+        seeds=run_seeds,
         mutation=mutation,
         cases=results,
+        skipped_seeds=skipped,
     )

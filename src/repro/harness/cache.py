@@ -41,7 +41,9 @@ import shutil
 from pathlib import Path
 from typing import Optional, Tuple
 
-from .parallel import PointSpec
+from typing import Any
+
+from .parallel import WorkSpec
 from .runner import RunResult
 
 #: Default cache directory (relative to the invoking process's cwd).
@@ -91,14 +93,14 @@ def code_fingerprint(src_root: Optional[Path] = None) -> str:
     return digest.hexdigest()
 
 
-def spec_key(spec: PointSpec) -> str:
+def spec_key(spec: WorkSpec) -> str:
     """SHA-256 of the spec's canonical JSON."""
     canonical = json.dumps(spec.canonical(), sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
-    """Content-addressed store mapping :class:`PointSpec` to RunResult.
+    """Content-addressed store mapping a :class:`WorkSpec` to its result.
 
     Args:
         root: cache directory (created lazily on the first store).
@@ -139,7 +141,7 @@ class ResultCache:
         """Directory holding entries for the current code fingerprint."""
         return self.root / self.fingerprint
 
-    def entry_path(self, spec: PointSpec) -> Path:
+    def entry_path(self, spec: WorkSpec) -> Path:
         return self.generation_dir / f"{spec_key(spec)}.json"
 
     def _touch_current_generation(self) -> None:
@@ -176,13 +178,20 @@ class ResultCache:
 
     # -- lookup / store -------------------------------------------------
 
-    def get(self, spec: PointSpec) -> Optional[RunResult]:
+    def get(self, spec: WorkSpec) -> Optional[Any]:
         """Cached result for ``spec``, or None. Corrupt entries are
-        discarded (deleted) and reported as misses, never raised."""
+        discarded (deleted) and reported as misses, never raised.
+
+        Decoding dispatches on the spec: a spec that defines
+        ``result_from_dict`` (e.g. the chaos explorer's ``CaseSpec``,
+        whose results are ``CaseResult``) decodes through it; legacy
+        specs without one decode as :class:`RunResult`.
+        """
+        decode = getattr(spec, "result_from_dict", RunResult.from_dict)
         path = self.entry_path(spec)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            result = RunResult.from_dict(payload["result"])
+            result = decode(payload["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -198,7 +207,7 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, spec: PointSpec, result: RunResult) -> Path:
+    def put(self, spec: WorkSpec, result: Any) -> Path:
         """Store ``result`` under ``spec``'s key (atomic replace)."""
         path = self.entry_path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)

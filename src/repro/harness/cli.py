@@ -106,48 +106,62 @@ def _report_executor(executor: SweepExecutor) -> None:
     # cover the whole command, not just the final sweep.
     stats = executor.total_stats
     if stats["points"]:
+        pool = executor.pool_stats()
+        extra = ""
+        if pool.get("spawned"):
+            # One persistent pool served every sweep of the command: the
+            # worker count stays at --jobs while batches count the
+            # sweeps that reused them (the amortization evidence).
+            per_worker = ",".join(
+                f"{w}:{n}" for w, n in pool["per_worker"].items()
+            )
+            extra = (
+                f" [pool: {pool['spawned']} workers over "
+                f"{pool['batches']} batches, cases {per_worker}]"
+            )
         print(
             f"\n[{stats['points']} points: {stats['hits']} cached, "
-            f"{stats['ran']} simulated, jobs={executor.jobs}]"
+            f"{stats['ran']} simulated, jobs={executor.jobs}]" + extra
         )
 
 
 def cmd_figure2(args: argparse.Namespace) -> None:
-    executor = _executor(args)
-    results = figure2(full=args.full, seed=args.seed, executor=executor)
-    print_results("Figure 2: LAN, 2 destinations", results)
-    _report_executor(executor)
+    with _executor(args) as executor:
+        results = figure2(full=args.full, seed=args.seed, executor=executor)
+        print_results("Figure 2: LAN, 2 destinations", results)
+        _report_executor(executor)
     _maybe_export(args, results)
 
 
 def cmd_figure3(args: argparse.Namespace) -> None:
     dests = [int(d) for d in args.dests.split(",")] if args.dests else (1, 2, 4, 8)
-    executor = _executor(args)
     all_results = []
-    for d, results in figure3(
-        full=args.full, seed=args.seed, dest_counts=dests, executor=executor
-    ).items():
-        print_results(f"Figure 3: WAN colocated leaders, {d} destination(s)", results)
-        all_results.extend(results)
-    _report_executor(executor)
+    with _executor(args) as executor:
+        for d, results in figure3(
+            full=args.full, seed=args.seed, dest_counts=dests, executor=executor
+        ).items():
+            print_results(f"Figure 3: WAN colocated leaders, {d} destination(s)", results)
+            all_results.extend(results)
+        _report_executor(executor)
     _maybe_export(args, all_results)
 
 
 def cmd_figure4(args: argparse.Namespace) -> None:
     dests = [int(d) for d in args.dests.split(",")] if args.dests else (2, 4)
-    executor = _executor(args)
     all_results = []
-    for d, results in figure4(
-        full=args.full, seed=args.seed, dest_counts=dests, executor=executor
-    ).items():
-        print_results(f"Figure 4: WAN distributed leaders, {d} destinations", results)
-        all_results.extend(results)
-    _report_executor(executor)
+    with _executor(args) as executor:
+        for d, results in figure4(
+            full=args.full, seed=args.seed, dest_counts=dests, executor=executor
+        ).items():
+            print_results(f"Figure 4: WAN distributed leaders, {d} destinations", results)
+            all_results.extend(results)
+        _report_executor(executor)
     _maybe_export(args, all_results)
 
 
 def cmd_figure5(args: argparse.Namespace) -> None:
-    curves_by_load = figure5(full=args.full, seed=args.seed, executor=_executor(args))
+    with _executor(args) as executor:
+        curves_by_load = figure5(full=args.full, seed=args.seed, executor=executor)
     for load, curves in curves_by_load.items():
         print(f"\n== Figure 5: CDF summaries, {load} outstanding ==")
         rows = []

@@ -26,7 +26,6 @@ static-analysis scope (see ``repro.analysis.config.DET_SCOPE``).
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
@@ -34,11 +33,13 @@ from ..sim.costs import CostModel
 from ..core.gc import DEFAULT_COMPACTION_INTERVAL_MS
 from ..workload.scenarios import (
     Scenario,
+    lan_fleet,
     lan_scenario,
     lan_sustained,
     wan_colocated_leaders,
     wan_distributed_leaders,
 )
+from .pool import WorkerPool, default_mp_context
 from .runner import RunResult, run_load_point
 
 class WorkSpec(Protocol):
@@ -64,6 +65,7 @@ class WorkSpec(Protocol):
 #: content-addressable; workers rebuild the scenario from this registry.
 SCENARIO_BUILDERS: Dict[str, Callable[[int, int], Scenario]] = {
     "LAN": lan_scenario,
+    "LAN - fleet": lan_fleet,
     "LAN - sustained": lan_sustained,
     "WAN - colocated leaders": wan_colocated_leaders,
     "WAN - distributed leaders": wan_distributed_leaders,
@@ -163,6 +165,12 @@ class PointSpec:
     def canonical(self) -> Dict[str, Any]:
         """JSON-safe dict with a stable field set (cache-key input)."""
         return asdict(self)
+
+    @staticmethod
+    def result_from_dict(payload: Dict[str, Any]) -> RunResult:
+        """Decode a cached result (the cache dispatches on the spec so
+        chaos ``CaseSpec`` entries can decode to ``CaseResult``)."""
+        return RunResult.from_dict(payload)
 
     def run(self) -> RunResult:
         """Execute this point (in whatever process we happen to be)."""
@@ -277,15 +285,6 @@ def _run_spec(spec: WorkSpec) -> Any:
     return spec.run()
 
 
-def default_mp_context() -> str:
-    """Start method for worker pools: ``fork`` where available (cheap,
-    inherits the imported simulator), else ``spawn``. Either produces
-    identical results — workers only consume the explicit spec seed."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return "fork"
-    return "spawn"
-
-
 class SweepExecutor:
     """Runs a flat list of :class:`WorkSpec` and merges results in order.
 
@@ -293,10 +292,24 @@ class SweepExecutor:
         jobs: worker processes. 1 (the default) runs inline in this
             process — no pool, byte-for-byte the historical serial path.
         cache: optional :class:`~repro.harness.cache.ResultCache`. Hits
-            skip simulation entirely; misses run and populate. None (the
-            default) disables caching.
+            skip simulation entirely; misses run and populate — each
+            result is written the moment its case completes (streaming
+            checkpoint), so a killed campaign resumes from the cache
+            with zero re-runs of completed cases.
         mp_context: multiprocessing start method (default: ``fork`` when
             available, else ``spawn``).
+        pool: share an existing :class:`~repro.harness.pool.WorkerPool`
+            instead of owning one — several executors (e.g. a figure
+            sweep and a chaos campaign in one process) then reuse the
+            same long-lived workers. A shared pool is never closed by
+            the executor; ``jobs`` is taken from the pool.
+
+    The executor owns one persistent :class:`WorkerPool`: workers are
+    spawned on the first parallel batch and reused for every subsequent
+    :meth:`run`, which is what amortizes spawn + import across a whole
+    campaign (hundreds of sweeps) instead of paying it per sweep. Call
+    :meth:`close` (or use the executor as a context manager) when done;
+    leaked pools are reaped by a GC finalizer.
 
     After each :meth:`run`, :attr:`last_stats` reports how many points
     were served from cache vs simulated — the warm-cache acceptance
@@ -312,14 +325,45 @@ class SweepExecutor:
         jobs: int = 1,
         cache: Optional[Any] = None,
         mp_context: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
+        if pool is not None:
+            jobs = pool.jobs
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = cache
         self.mp_context = mp_context
+        self._pool: Optional[WorkerPool] = pool
+        self._owns_pool = pool is None
         self.last_stats: Dict[str, int] = {"points": 0, "hits": 0, "ran": 0}
         self.total_stats: Dict[str, int] = {"points": 0, "hits": 0, "ran": 0}
+
+    # -- pool lifecycle -------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The persistent worker pool (created lazily)."""
+        if self._pool is None:
+            self._pool = WorkerPool(jobs=self.jobs, mp_context=self.mp_context)
+        return self._pool
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Pool-reuse counters (``{}`` until the first :meth:`run`)."""
+        return self._pool.stats() if self._pool is not None else {}
+
+    def close(self) -> None:
+        """Shut down the owned worker pool (no-op for shared pools)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- accounting -----------------------------------------------------
 
     def _record(self, points: int, hits: int, ran: int) -> None:
         self.last_stats = {"points": points, "hits": hits, "ran": ran}
@@ -332,32 +376,42 @@ class SweepExecutor:
         pool and the cache but still belong in the run's totals)."""
         self._record(n, 0, n)
 
-    def run(self, specs: Sequence[WorkSpec]) -> List[Any]:
-        """Execute every spec; results come back in spec order."""
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[WorkSpec],
+        on_result: Optional[Callable[[int, WorkSpec, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute every spec; results come back in spec order.
+
+        ``on_result(index, spec, result)`` streams completions: cache
+        hits fire immediately (in spec order, before any dispatch),
+        misses fire in *completion* order as workers finish — by the
+        time the callback sees a miss, its result is already persisted
+        in the cache, so an abort raised from the callback leaves a
+        resumable checkpoint behind.
+        """
         results: List[Optional[Any]] = [None] * len(specs)
         misses: List[int] = []
         for i, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 results[i] = cached
+                if on_result is not None:
+                    on_result(i, spec, cached)
             else:
                 misses.append(i)
         if misses:
-            ran = self._execute([specs[i] for i in misses])
-            for i, result in zip(misses, ran):
-                results[i] = result
+
+            def emit(local_index: int, spec: WorkSpec, result: Any) -> None:
+                global_index = misses[local_index]
+                results[global_index] = result
                 if self.cache is not None:
-                    self.cache.put(specs[i], result)
+                    self.cache.put(spec, result)
+                if on_result is not None:
+                    on_result(global_index, spec, result)
+
+            self.pool.run([specs[i] for i in misses], on_result=emit)
         self._record(len(specs), len(specs) - len(misses), len(misses))
         return [r for r in results if r is not None]
-
-    def _execute(self, specs: List[WorkSpec]) -> List[Any]:
-        if self.jobs == 1 or len(specs) == 1:
-            return [_run_spec(spec) for spec in specs]
-        context = multiprocessing.get_context(self.mp_context or default_mp_context())
-        workers = min(self.jobs, len(specs))
-        with context.Pool(processes=workers) as pool:
-            # chunksize=1: load points differ wildly in cost (outstanding
-            # spans 1..128), so fine-grained dispatch balances the pool.
-            # Pool.map preserves submission order, which is spec order.
-            return pool.map(_run_spec, specs, chunksize=1)

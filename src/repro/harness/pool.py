@@ -1,0 +1,335 @@
+"""Persistent worker-pool campaign runtime.
+
+:class:`WorkerPool` replaces the fresh-``multiprocessing.Pool``-per-sweep
+fan-out of PR 3 with long-lived worker processes that consume
+:class:`~repro.harness.parallel.WorkSpec` items from one shared work
+queue across an entire *campaign* — multi-figure sweeps, chaos
+campaigns, differential runs. Three properties are load-bearing:
+
+* **Amortized fan-out** — workers are spawned once (lazily, on the first
+  parallel batch) and reused for every subsequent :meth:`WorkerPool.run`
+  call, so a campaign of hundreds of sweeps pays worker spawn + import
+  exactly once instead of once per sweep. ``BENCH_perf.json``'s
+  ``campaign_pool`` entry measures the per-case overhead of both paths.
+
+* **Dynamic scheduling, deterministic output** — dispatch is
+  work-stealing (every idle worker pulls the next spec from the shared
+  queue, so one long straggler case cannot serialize the rest of the
+  batch behind it), but results are reassembled **by spec index** before
+  they are returned. The output of :meth:`run` is therefore a pure
+  function of the spec list — byte-identical to the serial loop at any
+  job count, and independent of completion order. Pinned by
+  ``tests/harness/test_pool.py``.
+
+* **Streaming completion** — the optional ``on_result`` callback fires
+  in *completion* order, as each result crosses back into the parent.
+  :class:`~repro.harness.parallel.SweepExecutor` uses it to write every
+  finished case into the content-addressed result cache immediately,
+  which is what makes a killed campaign resumable with zero re-runs of
+  completed cases (checkpoint/resume falls out of the PR 3 cache).
+
+``jobs=1`` runs every spec inline in the calling process — no worker
+processes, byte-for-byte the historical serial path.
+
+Determinism: this module draws no randomness and never reads a clock —
+queue poll timeouts are constants, not time reads. It is inside the
+DET001 static-analysis scope (``repro.analysis.config.DET_SCOPE``):
+specs carry their seeds explicitly, and the pool only moves them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import traceback
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Seconds between liveness checks while waiting on the result queue.
+#: A constant poll interval, not a wall-clock read: the pool never makes
+#: a decision based on *when* something happened, only whether a worker
+#: silently died while work was outstanding.
+_POLL_INTERVAL_S = 0.25
+
+#: Seconds to wait for a worker to drain its sentinel on a clean close
+#: before falling back to terminate().
+_CLOSE_JOIN_S = 5.0
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died or a spec raised inside a worker.
+
+    Carries enough context to replay the failing spec serially: the spec
+    index within the batch and, for in-spec exceptions, the worker-side
+    traceback text.
+    """
+
+    def __init__(self, message: str, spec_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.spec_index = spec_index
+
+
+def run_spec(spec: Any) -> Any:
+    """Execute one work spec (module-level so it pickles by reference)."""
+    return spec.run()
+
+
+def default_mp_context() -> str:
+    """Start method for worker pools: ``fork`` where available (cheap,
+    inherits the imported simulator), else ``spawn``. Either produces
+    identical results — workers only consume the explicit spec seed."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _worker_main(worker_id: str, tasks: Any, results: Any) -> None:
+    """Worker loop: pull ``(index, spec)``, run it, push the outcome.
+
+    A spec that raises is reported as an ``"err"`` record (type name,
+    message, formatted traceback) instead of killing the worker — the
+    parent decides whether to abort the batch. ``None`` is the shutdown
+    sentinel.
+    """
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        index, spec = item
+        try:
+            result = spec.run()
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            results.put(
+                (
+                    "err",
+                    index,
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                    worker_id,
+                )
+            )
+            continue
+        results.put(("ok", index, result, worker_id))
+
+
+def _terminate_procs(procs: List[Any], queues: List[Any]) -> None:
+    """Hard-stop helper shared by terminate() and the GC finalizer."""
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=1.0)
+    for q in queues:
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except (OSError, ValueError):
+            pass
+    procs.clear()
+
+
+class WorkerPool:
+    """Long-lived worker processes consuming specs from a shared queue.
+
+    Args:
+        jobs: worker processes. 1 runs every spec inline (no processes).
+        mp_context: multiprocessing start method (default: ``fork`` when
+            available, else ``spawn``).
+
+    Workers are spawned lazily on the first parallel :meth:`run` and
+    persist until :meth:`close` / :meth:`terminate` (or garbage
+    collection — a finalizer terminates leaked workers). Reuse across
+    batches is the whole point: :meth:`stats` reports how many workers
+    were ever spawned vs how many batches/specs they served.
+    """
+
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self._ctx = multiprocessing.get_context(mp_context or default_mp_context())
+        self._procs: List[Any] = []
+        self._queues: List[Any] = []
+        self._tasks: Optional[Any] = None
+        self._results: Optional[Any] = None
+        self._closed = False
+        self._next_worker = 0
+        # lifetime counters (the "pool-reuse stats" of BENCH_perf.json)
+        self._spawned = 0
+        self._batches = 0
+        self._dispatched = 0
+        self._inline = 0
+        self._per_worker: Dict[str, int] = {}
+        self._finalizer = weakref.finalize(
+            self, _terminate_procs, self._procs, self._queues
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_workers(self) -> None:
+        if self._tasks is None:
+            self._tasks = self._ctx.Queue()
+            self._results = self._ctx.Queue()
+            self._queues.extend([self._tasks, self._results])
+        # Replace workers that died between batches (a crashed case can
+        # take its worker down); respawns show up in the spawn counter so
+        # a bench that expected pure reuse can see the difference.
+        self._procs[:] = [p for p in self._procs if p.is_alive()]
+        while len(self._procs) < self.jobs:
+            worker_id = f"w{self._next_worker}"
+            self._next_worker += 1
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self._tasks, self._results),
+                name=f"repro-pool-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._spawned += 1
+
+    def close(self) -> None:
+        """Shut workers down cleanly (drain sentinels, then join)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tasks is not None:
+            for _ in self._procs:
+                self._tasks.put(None)
+            for proc in self._procs:
+                proc.join(timeout=_CLOSE_JOIN_S)
+        _terminate_procs(self._procs, self._queues)
+        self._finalizer.detach()
+
+    def terminate(self) -> None:
+        """Hard-stop every worker immediately (error paths, aborts)."""
+        if self._closed:
+            return
+        self._closed = True
+        _terminate_procs(self._procs, self._queues)
+        self._finalizer.detach()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[Any],
+        on_result: Optional[Callable[[int, Any, Any], None]] = None,
+    ) -> List[Any]:
+        """Execute every spec; results come back in **spec order**.
+
+        ``on_result(index, spec, result)`` fires in *completion* order as
+        each case finishes (the streaming-checkpoint hook). An exception
+        from ``on_result`` — e.g. a deliberate abort — terminates the
+        workers and propagates; results already reported remain reported.
+
+        A spec that raises inside a worker aborts the batch with
+        :class:`WorkerCrash` carrying the worker-side traceback. A worker
+        that dies silently (OOM kill, segfault) is detected by liveness
+        polling and also raises :class:`WorkerCrash`.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        self._batches += 1
+        n = len(specs)
+        if n == 0:
+            return []
+        if self.jobs == 1:
+            return self._run_inline(specs, on_result)
+        return self._run_parallel(specs, on_result)
+
+    def _run_inline(
+        self,
+        specs: Sequence[Any],
+        on_result: Optional[Callable[[int, Any, Any], None]],
+    ) -> List[Any]:
+        results: List[Any] = []
+        for index, spec in enumerate(specs):
+            result = run_spec(spec)
+            self._inline += 1
+            self._per_worker["inline"] = self._per_worker.get("inline", 0) + 1
+            if on_result is not None:
+                on_result(index, spec, result)
+            results.append(result)
+        return results
+
+    def _run_parallel(
+        self,
+        specs: Sequence[Any],
+        on_result: Optional[Callable[[int, Any, Any], None]],
+    ) -> List[Any]:
+        self._ensure_workers()
+        assert self._tasks is not None and self._results is not None
+        for index, spec in enumerate(specs):
+            self._tasks.put((index, spec))
+        self._dispatched += len(specs)
+        results: List[Any] = [None] * len(specs)
+        received = 0
+        while received < len(specs):
+            try:
+                kind, index, payload, worker_id = self._results.get(
+                    timeout=_POLL_INTERVAL_S
+                )
+            except queue_mod.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    self.terminate()
+                    raise WorkerCrash(
+                        f"worker(s) {dead} died with "
+                        f"{len(specs) - received} case(s) outstanding"
+                    ) from None
+                continue
+            if kind == "err":
+                exc_type, message, tb_text = payload
+                self.terminate()
+                raise WorkerCrash(
+                    f"spec {index} raised {exc_type} in {worker_id}: "
+                    f"{message}\n{tb_text}",
+                    spec_index=index,
+                )
+            results[index] = payload
+            self._per_worker[worker_id] = self._per_worker.get(worker_id, 0) + 1
+            received += 1
+            if on_result is not None:
+                try:
+                    on_result(index, specs[index], payload)
+                except BaseException:
+                    # The caller is aborting mid-batch (checkpoint tests
+                    # do exactly this): stop the workers so no further
+                    # results race the unwind, then propagate.
+                    self.terminate()
+                    raise
+        return results
+
+    # -- accounting -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Lifetime pool-reuse counters (JSON-safe).
+
+        * ``spawned`` — worker processes ever created (reuse shows as
+          ``spawned == jobs`` across many batches; respawns after a
+          worker death push it higher);
+        * ``batches`` — :meth:`run` calls served;
+        * ``dispatched`` / ``inline`` — specs executed via the work
+          queue vs inline (``jobs=1``);
+        * ``per_worker`` — completed case count by worker id, the
+          work-stealing balance evidence.
+        """
+        return {
+            "jobs": self.jobs,
+            "spawned": self._spawned,
+            "batches": self._batches,
+            "dispatched": self._dispatched,
+            "inline": self._inline,
+            "per_worker": dict(sorted(self._per_worker.items())),
+        }

@@ -1,8 +1,18 @@
-"""Plain-text rendering of experiment results (the benches' output)."""
+"""Plain-text rendering of experiment results (the benches' output).
+
+Also the perf-trajectory dashboard::
+
+    python -m repro.harness.report --history
+
+renders ``BENCH_history.jsonl`` (one timestamped measurement row per
+``perf --append-history`` run) as a markdown table with per-row deltas —
+the same table EXPERIMENTS.md embeds between its BENCH_HISTORY markers
+(``--update-experiments`` rewrites it in place).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .runner import RunResult
 
@@ -65,3 +75,99 @@ def max_throughput_by_protocol(results: List[RunResult]) -> Dict[str, float]:
     for r in results:
         best[r.protocol] = max(best.get(r.protocol, 0.0), r.throughput)
     return best
+
+
+# ----------------------------------------------------------------------
+# perf trajectory dashboard (BENCH_history.jsonl -> markdown)
+# ----------------------------------------------------------------------
+
+
+def history_markdown(rows: List[Dict[str, Any]]) -> str:
+    """Markdown trajectory table over perf-history rows, oldest first.
+
+    Each row is one ``perf --append-history`` measurement of the
+    standard smoke point. The Δ column is the events/sec change against
+    the *previous* row, so per-PR wins and regressions read directly off
+    the table; speedup-vs-seed is cumulative.
+    """
+    lines = [
+        "| When (UTC) | backend | wall (s) | events/s | Δ events/s | speedup vs seed | note |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    prev_eps: Optional[float] = None
+    for row in rows:
+        eps = float(row.get("events_per_sec", 0.0))
+        if prev_eps and prev_eps > 0:
+            delta = f"{(eps / prev_eps - 1.0) * 100.0:+.1f}%"
+        else:
+            delta = "—"
+        prev_eps = eps
+        lines.append(
+            "| {timestamp} | {backend} | {wall_s:.3f} | {eps:,.0f} | {delta} | {speedup:.2f}x | {note} |".format(
+                timestamp=row.get("timestamp", "?"),
+                backend=row.get("backend", "?"),
+                wall_s=row.get("wall_s", 0.0),
+                eps=eps,
+                delta=delta,
+                speedup=row.get("speedup_vs_seed", 0.0),
+                note=row.get("note", "") or "—",
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: render the perf trajectory (``--history``).
+
+    Reads ``BENCH_history.jsonl`` (or ``--path``), prints the markdown
+    table; ``--update-experiments`` also rewrites the marker-delimited
+    table in EXPERIMENTS.md. Exit 1 when the log is missing/empty.
+    """
+    import argparse
+    from pathlib import Path
+
+    # Lazy import: perf pulls in the whole simulator; plain table
+    # formatting must not.
+    from .perf import read_history, update_experiments_history
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.report",
+        description="render experiment artifacts; --history renders the "
+        "BENCH_history.jsonl perf trajectory as markdown",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="render the perf-trajectory table from BENCH_history.jsonl",
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=None,
+        help="history log to read (default: BENCH_history.jsonl at the "
+        "repository root)",
+    )
+    parser.add_argument(
+        "--update-experiments",
+        action="store_true",
+        help="also rewrite the BENCH_HISTORY table in EXPERIMENTS.md",
+    )
+    args = parser.parse_args(argv)
+    if not args.history:
+        parser.error("nothing to do: pass --history")
+    rows = read_history(args.path)
+    if not rows:
+        print("no history rows found (run: python -m repro.harness.perf "
+              "--append-history)")
+        return 1
+    print(history_markdown(rows))
+    if args.update_experiments:
+        target = update_experiments_history(rows)
+        print(f"\nupdated {target.name}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    import sys
+
+    sys.exit(main())

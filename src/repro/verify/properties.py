@@ -75,6 +75,17 @@ class Violation:
         }
 
     @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Violation":
+        """Inverse of :meth:`to_dict` (cache/replay round trip)."""
+        return cls(
+            prop=str(payload["prop"]),
+            message=str(payload["message"]),
+            mids=tuple(
+                (int(mid[0]), int(mid[1])) for mid in payload.get("mids", [])
+            ),
+        )
+
+    @classmethod
     def from_exception(cls, exc: PropertyViolation) -> "Violation":
         return cls(prop=exc.prop or "unknown", message=str(exc), mids=exc.mids)
 

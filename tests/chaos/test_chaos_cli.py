@@ -18,10 +18,59 @@ class TestRun:
         code = main(["run", "--scenario", SCN, "--seeds", "2", "--json"])
         report = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["scenario"] == SCN
         assert report["summary"]["cases"] == 2
+        assert report["summary"]["skipped_cases"] == 0
+        assert report["skipped_seeds"] == []
         assert len(report["cases"]) == 2
+
+    def test_stats_and_progress_go_to_stderr_only(self, capsys):
+        code = main(
+            ["run", "--scenario", SCN, "--seeds", "2", "--json",
+             "--progress-every", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # stdout is pure report JSON (the campaign-smoke cmp gate);
+        # progress and the stats line live on stderr.
+        json.loads(captured.out)
+        assert "chaos progress: 2/2 cases" in captured.err
+        assert "chaos campaign: cases=2 cached=0 simulated=2" in captured.err
+
+    def test_max_cases_reports_skips(self, capsys):
+        code = main(
+            ["run", "--scenario", SCN, "--seeds", "4", "--max-cases", "2",
+             "--json"]
+        )
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert code == 0
+        assert report["summary"]["cases"] == 2
+        assert report["skipped_seeds"] == [2, 3]
+        assert "skipped=2" in captured.err
+
+    def test_cache_dir_resume_runs_nothing(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["run", "--scenario", SCN, "--seeds", "2", "--json",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert "simulated=2" in first.err
+        assert main(args) == 0
+        second = capsys.readouterr()
+        # Warm resume: every case from cache, byte-identical report.
+        assert "cached=2 simulated=0" in second.err
+        assert second.out == first.out
+
+    def test_report_identical_with_and_without_pool(self, tmp_path):
+        out1 = tmp_path / "serial.json"
+        out2 = tmp_path / "pooled.json"
+        assert main(["run", "--scenario", SCN, "--seeds", "2",
+                     "--out", str(out1)]) == 0
+        assert main(["run", "--scenario", SCN, "--seeds", "2", "--jobs", "2",
+                     "--out", str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
 
     def test_out_file_matches_stdout_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"

@@ -1,13 +1,17 @@
-"""Campaign runner tests: determinism, parallel equality, mutations."""
+"""Campaign runner tests: determinism, parallel equality, mutations,
+checkpoint/resume through the persistent-pool runtime."""
 
 import pytest
 
 from repro.chaos.explorer import (
     CHAOS_SCENARIOS,
+    CaseResult,
     CaseSpec,
     run_campaign,
     run_case,
 )
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SweepExecutor
 
 SCN = "lan-small"
 SEEDS = [0, 1, 2]
@@ -51,12 +55,85 @@ class TestRunCampaign:
 
     def test_report_identical_across_jobs(self):
         serial = run_campaign(SCN, SEEDS, jobs=1)
-        parallel = run_campaign(SCN, SEEDS, jobs=2)
-        assert serial.to_json() == parallel.to_json()
+        for jobs in (2, 4):
+            parallel = run_campaign(SCN, SEEDS, jobs=jobs)
+            assert serial.to_json() == parallel.to_json()
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError):
             run_campaign("atlantis", SEEDS)
+
+    def test_case_result_dict_round_trip(self):
+        result = run_case(CaseSpec(scenario=SCN, seed=1))
+        import json
+
+        back = CaseResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.to_dict() == result.to_dict()
+        assert back.spec == result.spec
+        assert back.delivered == result.delivered  # int keys restored
+
+    def test_cached_campaign_resumes_without_reexecution(self, tmp_path):
+        serial = run_campaign(SCN, SEEDS)
+        with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as cold:
+            first = run_campaign(SCN, SEEDS, executor=cold)
+            assert cold.total_stats["ran"] == len(SEEDS)
+        with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as warm:
+            resumed = run_campaign(SCN, SEEDS, executor=warm)
+            assert warm.total_stats == {
+                "points": len(SEEDS),
+                "hits": len(SEEDS),
+                "ran": 0,
+            }
+        assert first.to_json() == serial.to_json()
+        assert resumed.to_json() == serial.to_json()
+
+    def test_killed_campaign_resumes_byte_identical(self, tmp_path):
+        """Kill after the first completed case; the resumed campaign
+        re-executes only the remainder and reports byte-identically."""
+        want = run_campaign(SCN, SEEDS).to_json()
+
+        class Killed(Exception):
+            pass
+
+        def killer(done, total, violations):
+            if done >= 1:
+                raise Killed()
+
+        with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as victim:
+            with pytest.raises(Killed):
+                run_campaign(SCN, SEEDS, executor=victim, progress=killer)
+
+        with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as resumed:
+            report = run_campaign(SCN, SEEDS, executor=resumed)
+            stats = dict(resumed.total_stats)
+        assert stats["hits"] >= 1
+        assert stats["ran"] == len(SEEDS) - stats["hits"]
+        assert report.to_json() == want
+
+    def test_max_cases_budget_is_never_silent(self):
+        report = run_campaign(SCN, [0, 1, 2, 3, 4], max_cases=2)
+        assert [c.spec.seed for c in report.cases] == [0, 1]
+        assert report.skipped_seeds == [2, 3, 4]
+        data = report.to_dict()
+        assert data["version"] == 2
+        assert data["skipped_seeds"] == [2, 3, 4]
+        assert data["summary"]["skipped_cases"] == 3
+        assert data["summary"]["cases"] == 2
+
+    def test_progress_callback_counts_cases_and_violations(self):
+        calls = []
+        run_campaign(
+            SCN,
+            SEEDS,
+            mutation="no-quorum-wait",
+            progress=lambda done, total, v: calls.append((done, total, v)),
+        )
+        assert [c[0] for c in calls] == [1, 2, 3]
+        assert all(c[1] == len(SEEDS) for c in calls)
+        # violations accumulate monotonically and end above zero (the
+        # mutation campaign is the known-violating workload)
+        vio = [c[2] for c in calls]
+        assert vio == sorted(vio) and vio[-1] > 0
 
     def test_clean_campaign_has_no_violations(self):
         report = run_campaign(SCN, SEEDS)

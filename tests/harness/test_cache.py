@@ -317,3 +317,23 @@ def test_fingerprint_covers_chaos_import_closure():
         f"fingerprinted: {sorted(missing)}"
     )
     assert {"chaos", "verify"} <= set(FINGERPRINT_PACKAGES)
+
+
+def test_case_spec_results_round_trip_through_cache(tmp_path):
+    """The cache decodes entries through the spec's own result decoder:
+    a chaos CaseSpec entry must come back as a CaseResult, losslessly
+    (the campaign checkpoint/resume path depends on this)."""
+    from repro.chaos.explorer import CaseResult, CaseSpec
+
+    cache = ResultCache(tmp_path / "c")
+    spec = CaseSpec(scenario="lan-small", seed=1)
+    result = spec.run()
+    cache.put(spec, result)
+    back = cache.get(spec)
+    assert isinstance(back, CaseResult)
+    assert back.to_dict() == result.to_dict()
+    # PointSpec and CaseSpec entries coexist in one generation dir.
+    point = tiny_specs()[0]
+    cache.put(point, point.run())
+    assert cache.get(point).to_dict() is not None
+    assert cache.get(spec).to_dict() == result.to_dict()

@@ -1,0 +1,328 @@
+"""Tests for the persistent worker-pool campaign runtime (repro.harness.pool).
+
+Three contracts, straight from DESIGN.md §11:
+
+* **determinism** — dynamic (work-stealing) dispatch, but results
+  reassembled by spec index: output is byte-identical to the serial
+  loop at any job count;
+* **amortization** — workers are spawned once and reused across every
+  batch an executor (or campaign) issues;
+* **checkpoint/resume** — results stream into the content-addressed
+  cache as they complete, so a campaign killed mid-flight resumes with
+  zero re-executions of completed cases and a byte-identical report.
+"""
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SweepExecutor, expand_sweep, point_spec
+from repro.harness.pool import WorkerCrash, WorkerPool
+from repro.workload.scenarios import (
+    lan_fleet,
+    lan_scenario,
+    wan_colocated_leaders,
+)
+
+
+# Specs must be module-level so they pickle by reference into workers.
+
+
+@dataclass(frozen=True)
+class EchoSpec:
+    """Trivial spec: returns its own index (orchestration-only cost)."""
+
+    index: int
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"echo": self.index}
+
+    def run(self) -> int:
+        return self.index
+
+
+@dataclass(frozen=True)
+class SleepSpec:
+    """Spec that sleeps, for scheduling (not determinism) tests."""
+
+    index: int
+    sleep_s: float
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"sleep": self.index}
+
+    def run(self) -> int:
+        time.sleep(self.sleep_s)
+        return self.index
+
+
+@dataclass(frozen=True)
+class FailSpec:
+    index: int
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"fail": self.index}
+
+    def run(self) -> int:
+        raise ValueError(f"spec {self.index} exploded")
+
+
+def small_sweep_specs(**overrides):
+    kwargs = dict(seed=1, warmup_ms=20.0, measure_ms=40.0)
+    kwargs.update(overrides)
+    return expand_sweep(
+        ("primcast", "whitebox"), lan_scenario(2, 3), 2, (1, 2), **kwargs
+    )
+
+
+# -- determinism: spec-order reassembly at any job count ----------------
+
+
+def test_results_in_spec_order_at_any_job_count():
+    specs = [EchoSpec(i) for i in range(20)]
+    for jobs in (1, 2, 4):
+        with WorkerPool(jobs=jobs) as pool:
+            assert pool.run(specs) == list(range(20))
+
+
+def test_sweep_reports_byte_identical_across_jobs():
+    """The acceptance criterion verbatim: the serialized report of a
+    real sweep is byte-for-byte the same at jobs 1, 2 and 4."""
+    specs = small_sweep_specs()
+    reports = {}
+    for jobs in (1, 2, 4):
+        with SweepExecutor(jobs=jobs) as executor:
+            results = executor.run(specs)
+        reports[jobs] = json.dumps(
+            [r.to_dict() for r in results], sort_keys=True
+        )
+    assert reports[1] == reports[2] == reports[4]
+
+
+def test_eight_group_scenario_through_pool():
+    """>= 8 groups (24 processes) at d=8 — the paper's full fan-out —
+    runs through the pool and stays identical to serial."""
+    spec = point_spec(
+        "primcast",
+        wan_colocated_leaders(8, 3),
+        8,
+        1,
+        warmup_ms=10.0,
+        measure_ms=20.0,
+    )
+    assert spec.n_groups * spec.group_size == 24
+    with SweepExecutor(jobs=1) as serial:
+        want = serial.run([spec])
+    with SweepExecutor(jobs=2) as pooled:
+        got = pooled.run([spec])
+    assert [r.to_dict() for r in got] == [r.to_dict() for r in want]
+
+
+def test_twenty_group_fleet_through_pool():
+    """The 20-group (60-process) LAN fleet scenario, pooled == serial."""
+    spec = point_spec(
+        "primcast", lan_fleet(20, 3), 2, 1, warmup_ms=2.0, measure_ms=5.0
+    )
+    assert spec.n_groups * spec.group_size == 60
+    with SweepExecutor(jobs=1) as serial:
+        want = serial.run([spec])
+    with SweepExecutor(jobs=2) as pooled:
+        got = pooled.run([spec])
+    assert [r.to_dict() for r in got] == [r.to_dict() for r in want]
+
+
+# -- dynamic scheduling -------------------------------------------------
+
+
+def test_straggler_does_not_serialize_the_queue():
+    """Work stealing: with the long case dispatched first, the other
+    worker drains every short case while it runs — the straggler
+    finishes last instead of gating the batch."""
+    straggler = SleepSpec(0, sleep_s=1.0)
+    shorts = [SleepSpec(i, sleep_s=0.02) for i in range(1, 6)]
+    completions = []
+
+    def on_result(index, spec, result):
+        completions.append(index)
+
+    with WorkerPool(jobs=2) as pool:
+        t0 = time.perf_counter()
+        results = pool.run([straggler] + shorts, on_result=on_result)
+        wall = time.perf_counter() - t0
+    assert results == list(range(6))
+    # The straggler completes last; every short case overtook it.
+    assert completions[-1] == 0
+    assert sorted(completions[:-1]) == [1, 2, 3, 4, 5]
+    # And the batch cost ~max(straggler, sum(shorts)), not the serial
+    # sum (1.1s); generous bound for noisy CI machines.
+    assert wall < 1.9
+
+
+# -- amortization: pool reuse across batches ----------------------------
+
+
+def test_workers_spawned_once_and_reused_across_batches():
+    with WorkerPool(jobs=2) as pool:
+        for batch in range(3):
+            pool.run([EchoSpec(batch * 10 + i) for i in range(10)])
+        stats = pool.stats()
+    assert stats["spawned"] == 2
+    assert stats["batches"] == 3
+    assert stats["dispatched"] == 30
+    # Dynamic dispatch: both workers actually consumed cases.
+    assert sorted(stats["per_worker"]) == ["w0", "w1"]
+    assert sum(stats["per_worker"].values()) == 30
+
+
+def test_jobs1_runs_inline_without_processes():
+    with WorkerPool(jobs=1) as pool:
+        assert pool.run([EchoSpec(i) for i in range(4)]) == [0, 1, 2, 3]
+        stats = pool.stats()
+    assert stats["spawned"] == 0
+    assert stats["inline"] == 4
+    assert stats["per_worker"] == {"inline": 4}
+
+
+def test_executor_shares_one_pool_across_runs():
+    specs = small_sweep_specs()
+    with SweepExecutor(jobs=2) as executor:
+        executor.run(specs[:2])
+        executor.run(specs[2:])
+        stats = executor.pool_stats()
+    assert stats["spawned"] == 2
+    assert stats["batches"] == 2
+    assert stats["dispatched"] == 4
+
+
+def test_executors_can_share_an_external_pool():
+    with WorkerPool(jobs=2) as pool:
+        a = SweepExecutor(pool=pool)
+        b = SweepExecutor(pool=pool)
+        assert a.jobs == b.jobs == 2
+        assert a.run([EchoSpec(0)]) == [0]
+        assert b.run([EchoSpec(1)]) == [1]
+        # Executors never close a shared pool.
+        a.close()
+        b.close()
+        assert not pool.closed
+        assert pool.stats()["spawned"] == 2
+
+
+def test_pool_rejects_use_after_close():
+    pool = WorkerPool(jobs=2)
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.run([EchoSpec(0)])
+
+
+def test_pool_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        WorkerPool(jobs=0)
+
+
+# -- error propagation --------------------------------------------------
+
+
+def test_worker_exception_propagates_with_traceback():
+    with pytest.raises(WorkerCrash, match="spec 1 raised ValueError") as info:
+        with WorkerPool(jobs=2) as pool:
+            pool.run([EchoSpec(0), FailSpec(1), EchoSpec(2)])
+    assert info.value.spec_index == 1
+    assert "exploded" in str(info.value)
+
+
+def test_inline_exception_propagates_directly():
+    with pytest.raises(ValueError, match="exploded"):
+        with WorkerPool(jobs=1) as pool:
+            pool.run([FailSpec(0)])
+
+
+# -- checkpoint/resume --------------------------------------------------
+
+
+def test_results_checkpoint_to_cache_as_they_complete(tmp_path):
+    """By the time on_result fires, the case is already on disk — the
+    property kill-mid-campaign resume depends on."""
+    cache = ResultCache(tmp_path / "cache")
+    specs = small_sweep_specs()
+    seen = []
+
+    def on_result(index, spec, result):
+        assert cache.entry_path(spec).exists()
+        seen.append(index)
+
+    with SweepExecutor(jobs=2, cache=cache) as executor:
+        executor.run(specs, on_result=on_result)
+    assert sorted(seen) == [0, 1, 2, 3]
+
+
+def test_killed_sweep_resumes_with_zero_reexecutions(tmp_path):
+    """Abort after 2 completions; the resumed executor must serve those
+    from cache (0 re-runs) and produce the byte-identical report."""
+    specs = small_sweep_specs()
+    with SweepExecutor(jobs=1) as serial:
+        want = json.dumps(
+            [r.to_dict() for r in serial.run(specs)], sort_keys=True
+        )
+
+    class Killed(Exception):
+        pass
+
+    done = 0
+
+    def killer(index, spec, result):
+        nonlocal done
+        done += 1
+        if done >= 2:
+            raise Killed()
+
+    with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as victim:
+        with pytest.raises(Killed):
+            victim.run(specs, on_result=killer)
+
+    with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as resumed:
+        results = resumed.run(specs)
+        stats = dict(resumed.last_stats)
+    # Everything completed before the kill is a hit; nothing is re-run.
+    assert stats["hits"] >= 2
+    assert stats["ran"] == len(specs) - stats["hits"]
+    assert json.dumps([r.to_dict() for r in results], sort_keys=True) == want
+
+
+def test_warm_cache_spawns_no_workers(tmp_path):
+    specs = small_sweep_specs()
+    with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as cold:
+        cold.run(specs)
+    with SweepExecutor(jobs=2, cache=ResultCache(tmp_path / "c")) as warm:
+        warm.run(specs)
+        assert warm.last_stats == {"points": 4, "hits": 4, "ran": 0}
+        # A fully warm run never touches the pool at all.
+        assert warm.pool_stats() == {}
+
+
+# -- streaming callback semantics ---------------------------------------
+
+
+def test_on_result_fires_for_hits_in_spec_order(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    specs = small_sweep_specs()
+    with SweepExecutor(jobs=1, cache=cache) as cold:
+        cold.run(specs)
+    order = []
+    with SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "c")) as warm:
+        warm.run(specs, on_result=lambda i, s, r: order.append(i))
+    assert order == [0, 1, 2, 3]
+
+
+def test_point_spec_decodes_cached_results_as_run_result(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = small_sweep_specs()[0]
+    result = spec.run()
+    cache.put(spec, result)
+    back = cache.get(spec)
+    assert isinstance(back, type(result))
+    assert back == result

@@ -1,0 +1,86 @@
+"""Perf-trajectory dashboard tests (repro.harness.report --history)."""
+
+import json
+
+import pytest
+
+from repro.harness.report import history_markdown, main
+
+
+def rows():
+    return [
+        {
+            "timestamp": "2026-07-01T00:00:00Z",
+            "backend": "pure-python",
+            "wall_s": 8.0,
+            "events_per_sec": 100000.0,
+            "speedup_vs_seed": 1.25,
+            "note": "baseline",
+        },
+        {
+            "timestamp": "2026-07-15T00:00:00Z",
+            "backend": "pure-python",
+            "wall_s": 4.0,
+            "events_per_sec": 200000.0,
+            "speedup_vs_seed": 2.5,
+            "note": "",
+        },
+        {
+            "timestamp": "2026-08-01T00:00:00Z",
+            "backend": "pure-python",
+            "wall_s": 5.0,
+            "events_per_sec": 160000.0,
+            "speedup_vs_seed": 2.0,
+            "note": "regression",
+        },
+    ]
+
+
+def test_history_markdown_renders_per_row_deltas():
+    table = history_markdown(rows())
+    lines = table.splitlines()
+    assert lines[0].startswith("| When (UTC) |")
+    assert "Δ events/s" in lines[0]
+    # first row has no predecessor; then +100%, then -20%
+    assert "| — |" in lines[2]
+    assert "+100.0%" in lines[3]
+    assert "-20.0%" in lines[4]
+    assert "2.50x" in lines[3]
+    assert "| regression |" in lines[4]
+
+
+def test_history_markdown_empty_is_just_the_header():
+    assert len(history_markdown([]).splitlines()) == 2
+
+
+def test_cli_renders_history_log(tmp_path, capsys):
+    log = tmp_path / "hist.jsonl"
+    log.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in rows())
+    )
+    assert main(["--history", "--path", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "+100.0%" in out
+    assert "baseline" in out
+
+
+def test_cli_missing_log_exits_one(tmp_path, capsys):
+    assert main(["--history", "--path", str(tmp_path / "none.jsonl")]) == 1
+    assert "no history rows" in capsys.readouterr().out
+
+
+def test_cli_requires_history_flag(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_repo_history_log_renders():
+    """The real BENCH_history.jsonl must always render (EXPERIMENTS.md
+    embeds exactly this table)."""
+    from repro.harness.perf import history_table, read_history
+
+    real = read_history()
+    assert real, "BENCH_history.jsonl missing or empty at the repo root"
+    table = history_table(real)
+    assert table.splitlines()[0].startswith("| When (UTC) |")
+    assert len(table.splitlines()) == len(real) + 2
