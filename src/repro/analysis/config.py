@@ -122,6 +122,11 @@ RACE_SCOPE: Tuple[str, ...] = (
     "repro.consensus",
     "repro.harness",
     "repro.chaos",
+    # The asyncio backend hosts the same protocol objects on a real
+    # event loop; its facades must respect the same handler-context
+    # discipline (DESIGN.md §12) — notably NetScheduler.drain, which is
+    # the net analogue of Scheduler.run.
+    "repro.net",
 )
 
 #: Shared per-process protocol state (Algorithms 1–3 variables plus the
@@ -202,6 +207,10 @@ PURE_DECORATORS: Tuple[str, ...] = ("pure", "declared_pure")
 EFF_READONLY_SCOPE: Tuple[str, ...] = (
     "repro.verify",
     "repro.core.spec",
+    # Cluster nodes observe their process through deliver/probe hooks;
+    # the only protocol-object writes they may make are construction-
+    # time wiring (omega attach), checked the same way as the verifiers.
+    "repro.net.host",
 )
 
 #: Modules whose classes are wire messages (PROTO101).

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -28,13 +29,13 @@ from typing import (
 )
 
 from .._backend import mypyc_attr
-from ..election.omega import OmegaOracle
 from ..rmcast.fifo import Envelope, RMcastProcess
 from ..sim.clock import PhysicalClock
 from ..sim.costs import CostModel
-from ..sim.events import Scheduler
-from ..sim.network import Network
 from .config import GroupConfig
+
+if TYPE_CHECKING:
+    from ..net.runtime import LeaderOracle, SchedulerAPI, TransportAPI
 from .epoch import Epoch, initial_epoch
 from .messages import (
     Ack,
@@ -121,10 +122,10 @@ class PrimCastProcess(RMcastProcess):
         self,
         pid: int,
         config: GroupConfig,
-        scheduler: Scheduler,
-        network: Network,
+        scheduler: "SchedulerAPI",
+        network: "TransportAPI",
         cost_model: Optional[CostModel] = None,
-        omega: Optional[OmegaOracle] = None,
+        omega: Optional["LeaderOracle"] = None,
         physical_clock: Optional[PhysicalClock] = None,
         hybrid_clock: bool = False,
         relay: bool = False,

@@ -16,10 +16,10 @@ the oracle static and event-free.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from ..sim.events import Scheduler
-from ..sim.process import SimProcess
+if TYPE_CHECKING:
+    from ..net.runtime import ProcessLike, SchedulerAPI
 
 LeaderCallback = Callable[[int, int], None]  # (group_id, leader_pid)
 
@@ -31,8 +31,9 @@ class OmegaOracle:
         group_id: id of the group this oracle serves.
         members: pids of the group members, in preference order (the
             first correct one is elected).
-        processes: pid → process map, used to observe crashes.
-        scheduler: shared scheduler (for polling).
+        processes: pid → process map (any ``ProcessLike``), used to
+            observe crashes.
+        scheduler: shared scheduler (``SchedulerAPI``, for polling).
         poll_interval_ms: crash-detection interval; ``None`` disables
             detection and pins the initial leader forever.
     """
@@ -41,8 +42,8 @@ class OmegaOracle:
         self,
         group_id: int,
         members: List[int],
-        processes: Dict[int, SimProcess],
-        scheduler: Scheduler,
+        processes: Dict[int, "ProcessLike"],
+        scheduler: "SchedulerAPI",
         poll_interval_ms: Optional[float] = None,
     ):
         if not members:
@@ -88,8 +89,8 @@ class OmegaOracle:
 
 def make_oracles(
     groups: List[List[int]],
-    processes: Dict[int, SimProcess],
-    scheduler: Scheduler,
+    processes: Dict[int, "ProcessLike"],
+    scheduler: "SchedulerAPI",
     poll_interval_ms: Optional[float] = None,
 ) -> Dict[int, OmegaOracle]:
     """Create one Ω oracle per group; returns group_id → oracle."""

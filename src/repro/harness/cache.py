@@ -53,9 +53,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: everything a ``run_load_point`` or chaos-case outcome can depend on.
 #: This must cover the full import closure of the simulated event path —
 #: the runner pulls in ``election`` (Ω oracles), ``core`` pulls in
-#: ``rmcast`` (FIFO substrate), the baselines pull in ``consensus`` and
-#: the chaos explorer pulls in ``verify`` (property checkers) — pinned
-#: by ``tests/harness/test_cache.py``.
+#: ``rmcast`` (FIFO substrate), the baselines pull in ``consensus``, the
+#: chaos explorer pulls in ``verify`` (property checkers) and the
+#: substrate seam annotations reference ``net`` (the Runtime protocols)
+#: — pinned by ``tests/harness/test_cache.py``.
 FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "core",
     "sim",
@@ -67,6 +68,7 @@ FINGERPRINT_PACKAGES: Tuple[str, ...] = (
     "harness",
     "verify",
     "chaos",
+    "net",
 )
 
 #: Where ``src/repro`` lives, resolved from this file.

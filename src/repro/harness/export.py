@@ -27,6 +27,7 @@ CSV_FIELDS = (
     "p99_ms",
     "samples",
     "events",
+    "backend",
 )
 
 
@@ -51,6 +52,7 @@ def result_row(result: RunResult) -> Dict[str, object]:
         "p99_ms": latency.get("p99", 0.0),
         "samples": int(latency.get("count", 0)),
         "events": data["events"],
+        "backend": data["backend"],
     }
 
 

@@ -100,6 +100,8 @@ class PerfPoint:
     #: total wire messages over the run
     wire_messages: int = 0
     message_counts: Dict[str, int] = field(default_factory=dict)
+    #: substrate the measured rows came from ("sim" or "net")
+    backend: str = "sim"
 
 
 def measure_load_point(
@@ -174,6 +176,7 @@ def measure_load_point(
         throughput=data["throughput"],
         wire_messages=sum(data["message_counts"].values()),
         message_counts=data["message_counts"],
+        backend=data["backend"],
     )
 
 

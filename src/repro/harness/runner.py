@@ -161,6 +161,9 @@ class RunResult:
     #: wire messages by kind over the whole run
     message_counts: Dict[str, int] = field(default_factory=dict)
     events: int = 0
+    #: which substrate produced this row: "sim" (simulator) or "net"
+    #: (asyncio localhost cluster, real wall clocks)
+    backend: str = "sim"
 
     @property
     def throughput_kmsgs(self) -> float:
@@ -190,6 +193,7 @@ class RunResult:
             "samples": [[pid, when, lat] for pid, when, lat in self.samples],
             "message_counts": dict(self.message_counts),
             "events": self.events,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -205,6 +209,9 @@ class RunResult:
             samples=[(pid, when, lat) for pid, when, lat in data["samples"]],
             message_counts=dict(data["message_counts"]),
             events=data["events"],
+            # Rows cached before the net backend existed carry no
+            # backend key; they are sim rows by construction.
+            backend=data.get("backend", "sim"),
         )
 
 

@@ -1,0 +1,44 @@
+"""`repro.net` — the real-network backend.
+
+Runs the *same* protocol processes that drive the simulator over
+asyncio TCP sockets with real wall clocks:
+
+* :mod:`repro.net.runtime` — the backend-agnostic seam
+  (:class:`~repro.net.runtime.Runtime`, the ``SchedulerAPI`` /
+  ``TransportAPI`` / ``LeaderOracle`` protocols) plus the sim adapter;
+* :mod:`repro.net.codec` — length-prefixed JSON framing for the wire
+  messages (lossless round trips, exhaustive registry);
+* :mod:`repro.net.transport` — per-peer connection manager with
+  reconnect + exponential backoff;
+* :mod:`repro.net.election` — heartbeat-based Ω;
+* :mod:`repro.net.host` — the asyncio adapter: scheduler/transport
+  facades hosting unmodified ``PrimCastProcess`` objects, one node per
+  OS process;
+* :mod:`repro.net.cluster` — multi-process localhost cluster launcher;
+* :mod:`repro.net.differential` — sim-vs-net differential harness.
+
+Only the seam module is imported eagerly; the asyncio machinery loads
+on demand so the simulation path never pays for it.
+"""
+
+from .runtime import (
+    LeaderOracle,
+    ProcessLike,
+    Runtime,
+    RuntimeProbe,
+    SchedulerAPI,
+    SimRuntime,
+    TimerHandle,
+    TransportAPI,
+)
+
+__all__ = [
+    "LeaderOracle",
+    "ProcessLike",
+    "Runtime",
+    "RuntimeProbe",
+    "SchedulerAPI",
+    "SimRuntime",
+    "TimerHandle",
+    "TransportAPI",
+]

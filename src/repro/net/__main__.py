@@ -1,0 +1,141 @@
+"""CLI for the net backend: ``python -m repro.net <command>``.
+
+* ``node`` — run ONE protocol process (spawned by the launcher; not
+  normally invoked by hand).
+* ``cluster`` — launch a full localhost cluster and report it.
+* ``diff`` — launch a cluster, run the sim reference on the same
+  workload, and fail (exit 1) on any delivery disagreement. This is
+  the CI ``net-smoke`` entry point; ``--kill`` adds mid-run crash
+  injection (the survivors must elect a new leader and still agree
+  with the failure-free reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .cluster import ClusterSpec, launch_cluster
+from .differential import diff_cluster_result
+from .host import Topology, run_node
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--groups", type=int, default=2)
+    parser.add_argument("--group-size", type=int, default=3)
+    parser.add_argument("--messages", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--extra-group-p", type=float, default=0.5)
+    parser.add_argument(
+        "--kill", type=int, default=None, metavar="PID",
+        help="SIGKILL this pid mid-run (not the driver)",
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=4, metavar="N",
+        help="kill once the driver has delivered N messages",
+    )
+    parser.add_argument("--suspect-ms", type=float, default=500.0)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--rundir", type=str, default=None)
+
+
+def _spec_from_args(args: argparse.Namespace) -> ClusterSpec:
+    return ClusterSpec(
+        n_groups=args.groups,
+        group_size=args.group_size,
+        n_messages=args.messages,
+        seed=args.seed,
+        extra_group_p=args.extra_group_p,
+        kill_pid=args.kill,
+        kill_after=args.kill_after,
+        suspect_ms=args.suspect_ms,
+        run_timeout_s=args.timeout,
+    )
+
+
+def _rundir_from_args(args: argparse.Namespace) -> Path:
+    if args.rundir:
+        path = Path(args.rundir)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return Path(tempfile.mkdtemp(prefix="repro-net-"))
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    topology = Topology.from_json(json.loads(Path(args.topology).read_text()))
+    return run_node(topology, args.pid, Path(args.rundir))
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    rundir = _rundir_from_args(args)
+    result = launch_cluster(spec, rundir)
+    for pid in sorted(result.outcomes):
+        o = result.outcomes[pid]
+        status = "KILLED" if o.killed else f"exit={o.exit_code}"
+        print(
+            f"node {pid}: {status} delivered={len(o.delivered)}"
+            + (f" expected={o.summary['expected']}" if o.summary else "")
+        )
+    print(f"cluster {'OK' if result.ok else 'FAILED'} in {result.wall_s:.1f}s "
+          f"(rundir: {rundir})")
+    return 0 if result.ok else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    rundir = _rundir_from_args(args)
+    result = launch_cluster(spec, rundir)
+    if not result.ok:
+        print(f"cluster run FAILED (rundir: {rundir})")
+        for pid in sorted(result.outcomes):
+            o = result.outcomes[pid]
+            status = "KILLED" if o.killed else f"exit={o.exit_code}"
+            print(f"  node {pid}: {status} delivered={len(o.delivered)}")
+        return 1
+    problems = diff_cluster_result(result)
+    if problems:
+        print(f"differential check FAILED (rundir: {rundir}):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    survivors = result.survivors
+    n_msgs = spec.n_messages
+    kill_note = (
+        f", survived kill of pid {spec.kill_pid}" if spec.kill_pid is not None else ""
+    )
+    print(
+        f"differential check OK: {len(survivors)} nodes agree with the sim "
+        f"reference on {n_msgs} messages{kill_note} ({result.wall_s:.1f}s)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.net")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    np = sub.add_parser("node", help="run one protocol process (launcher use)")
+    np.add_argument("--topology", required=True)
+    np.add_argument("--pid", type=int, required=True)
+    np.add_argument("--rundir", required=True)
+    np.set_defaults(fn=cmd_node)
+
+    cp = sub.add_parser("cluster", help="launch a localhost cluster")
+    _add_spec_args(cp)
+    cp.set_defaults(fn=cmd_cluster)
+
+    dp = sub.add_parser("diff", help="cluster run + sim differential check")
+    _add_spec_args(dp)
+    dp.set_defaults(fn=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

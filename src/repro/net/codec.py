@@ -1,0 +1,360 @@
+"""Wire codec: length-prefixed JSON framing for the protocol messages.
+
+The simulator passes message *objects* between processes; the net
+backend must serialize them. Frames on a connection are::
+
+    [4-byte big-endian length][UTF-8 JSON body]
+
+JSON bodies are canonical (sorted keys, no whitespace) so a message's
+encoding is a deterministic function of its content — the round-trip
+tests compare canonical bytes instead of needing ``__eq__`` on the
+slotted wire classes.
+
+Two layers:
+
+* **values** — :func:`encode_value` / :func:`decode_value` losslessly
+  round-trip the payload vocabulary: JSON scalars, lists, and tagged
+  forms for tuples, sets, frozensets, dicts (any encodable keys),
+  :class:`~repro.core.epoch.Epoch`,
+  :class:`~repro.core.messages.Multicast` and nested registered
+  messages. Tagged forms are dicts with a ``"__"`` discriminator, so a
+  *plain* dict is always encoded in tagged form too — nothing an
+  application payload contains can collide with the tag namespace.
+* **messages** — :data:`CODECS` maps each wire-message class to a
+  ``(tag, encode, decode)`` triple. Every class in
+  :mod:`repro.core.messages` (class-level ``kind``) plus the rmcast
+  frames (``Envelope`` / ``Batch``) must have an entry; the registry
+  test in ``tests/net/test_codec.py`` fails when a new message type is
+  added without one.
+
+The codec is intentionally JSON, not pickle: frames are inspectable on
+the wire, and decoding never executes arbitrary constructors — only the
+fixed registry (a frame from an untrusted peer can at worst build
+protocol messages).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from ..core.epoch import Epoch
+from ..core.messages import (
+    Ack,
+    AcceptEpoch,
+    Bump,
+    EpochPromise,
+    Multicast,
+    NewEpoch,
+    NewState,
+    Start,
+)
+from ..rmcast.fifo import Batch, Envelope
+
+#: Length-prefix format: unsigned 32-bit big-endian frame length.
+LEN_STRUCT = struct.Struct("!I")
+
+#: Hard ceiling on a single frame (a corrupt length prefix must not ask
+#: the reader to buffer gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(ValueError):
+    """A value or frame that cannot be encoded/decoded losslessly."""
+
+
+# ----------------------------------------------------------------------
+# value layer
+# ----------------------------------------------------------------------
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary payload value into JSON-safe form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    cls = value.__class__
+    # Class-specific forms come before the generic tuple branch: Epoch
+    # is a NamedTuple and must not fall through to plain-tuple encoding.
+    if cls is Epoch:
+        return {"__": "ep", "n": value.number, "l": value.leader}
+    if cls is Multicast:
+        return {
+            "__": "mc",
+            "mid": encode_value(value.mid),
+            "dest": sorted(value.dest),
+            "p": encode_value(value.payload),
+        }
+    if isinstance(value, tuple):
+        return {"__": "t", "v": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        items = sorted((encode_value(v) for v in value), key=_canonical)
+        return {"__": "fs", "v": items}
+    if isinstance(value, set):
+        items = sorted((encode_value(v) for v in value), key=_canonical)
+        return {"__": "s", "v": items}
+    if isinstance(value, dict):
+        pairs = sorted(
+            ([encode_value(k), encode_value(v)] for k, v in value.items()),
+            key=lambda kv: _canonical(kv[0]),
+        )
+        return {"__": "d", "v": pairs}
+    if cls in CODECS:
+        return {"__": "pm", "v": encode_message(value)}
+    raise CodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):
+        return [decode_value(v) for v in data]
+    if isinstance(data, dict):
+        tag = data.get("__")
+        if tag == "t":
+            return tuple(decode_value(v) for v in data["v"])
+        if tag == "ep":
+            return Epoch(data["n"], data["l"])
+        if tag == "mc":
+            mid = decode_value(data["mid"])
+            return Multicast(
+                (mid[0], mid[1]), frozenset(data["dest"]), decode_value(data["p"])
+            )
+        if tag == "fs":
+            return frozenset(decode_value(v) for v in data["v"])
+        if tag == "s":
+            return {decode_value(v) for v in data["v"]}
+        if tag == "d":
+            return {decode_value(k): decode_value(v) for k, v in data["v"]}
+        if tag == "pm":
+            return decode_message(data["v"])
+        raise CodecError(f"unknown value tag {tag!r}")
+    raise CodecError(f"cannot decode {type(data).__name__}: {data!r}")
+
+
+# ----------------------------------------------------------------------
+# message layer
+# ----------------------------------------------------------------------
+
+
+def _enc_start(m: Start) -> Dict[str, Any]:
+    return {"mc": encode_value(m.multicast)}
+
+
+def _dec_start(d: Dict[str, Any]) -> Start:
+    return Start(decode_value(d["mc"]))
+
+
+def _enc_ack(m: Ack) -> Dict[str, Any]:
+    return {
+        "mc": encode_value(m.multicast),
+        "g": m.group,
+        "e": encode_value(m.epoch),
+        "ts": m.ts,
+        "s": m.sender,
+        "dp": encode_value(m.dp),
+    }
+
+
+def _dec_ack(d: Dict[str, Any]) -> Ack:
+    return Ack(
+        decode_value(d["mc"]),
+        d["g"],
+        decode_value(d["e"]),
+        d["ts"],
+        d["s"],
+        decode_value(d["dp"]),
+    )
+
+
+def _enc_bump(m: Bump) -> Dict[str, Any]:
+    return {
+        "e": encode_value(m.epoch),
+        "ts": m.ts,
+        "s": m.sender,
+        "dp": encode_value(m.dp),
+    }
+
+
+def _dec_bump(d: Dict[str, Any]) -> Bump:
+    return Bump(decode_value(d["e"]), d["ts"], d["s"], decode_value(d["dp"]))
+
+
+def _enc_new_epoch(m: NewEpoch) -> Dict[str, Any]:
+    return {"e": encode_value(m.epoch)}
+
+
+def _dec_new_epoch(d: Dict[str, Any]) -> NewEpoch:
+    return NewEpoch(decode_value(d["e"]))
+
+
+def _enc_promise(m: EpochPromise) -> Dict[str, Any]:
+    return {
+        "e": encode_value(m.epoch),
+        "s": m.sender,
+        "c": m.clock,
+        "ec": encode_value(m.e_cur),
+        "t": encode_value(m.t_seq),
+        "tb": m.t_base,
+    }
+
+
+def _dec_promise(d: Dict[str, Any]) -> EpochPromise:
+    return EpochPromise(
+        decode_value(d["e"]),
+        d["s"],
+        d["c"],
+        decode_value(d["ec"]),
+        decode_value(d["t"]),
+        d["tb"],
+    )
+
+
+def _enc_new_state(m: NewState) -> Dict[str, Any]:
+    return {
+        "e": encode_value(m.epoch),
+        "t": encode_value(m.t_seq),
+        "ts": m.ts,
+        "tb": m.t_base,
+    }
+
+
+def _dec_new_state(d: Dict[str, Any]) -> NewState:
+    return NewState(
+        decode_value(d["e"]), decode_value(d["t"]), d["ts"], d["tb"]
+    )
+
+
+def _enc_accept(m: AcceptEpoch) -> Dict[str, Any]:
+    return {"e": encode_value(m.epoch), "s": m.sender}
+
+
+def _dec_accept(d: Dict[str, Any]) -> AcceptEpoch:
+    return AcceptEpoch(decode_value(d["e"]), d["s"])
+
+
+def _enc_envelope(m: Envelope) -> Dict[str, Any]:
+    return {
+        "o": m.origin,
+        "q": m.seq,
+        "p": encode_value(m.payload),
+        "d": list(m.dests),
+        "r": m.relayed,
+    }
+
+
+def _dec_envelope(d: Dict[str, Any]) -> Envelope:
+    return Envelope(
+        d["o"], d["q"], decode_value(d["p"]), tuple(d["d"]), d["r"]
+    )
+
+
+def _enc_batch(m: Batch) -> Dict[str, Any]:
+    return {"envs": [_enc_envelope(env) for env in m.envelopes]}
+
+
+def _dec_batch(d: Dict[str, Any]) -> Batch:
+    return Batch(tuple(_dec_envelope(env) for env in d["envs"]))
+
+
+#: class -> (wire tag, encode, decode). The wire tag is the codec's own
+#: namespace (``Envelope.kind`` is the *payload's* kind by design, so
+#: the class-level ``kind`` strings cannot serve as tags here).
+CODECS: Dict[Type[Any], Tuple[str, Callable[[Any], Dict[str, Any]], Callable[[Dict[str, Any]], Any]]] = {
+    Start: ("start", _enc_start, _dec_start),
+    Ack: ("ack", _enc_ack, _dec_ack),
+    Bump: ("bump", _enc_bump, _dec_bump),
+    NewEpoch: ("new-epoch", _enc_new_epoch, _dec_new_epoch),
+    EpochPromise: ("promise", _enc_promise, _dec_promise),
+    NewState: ("new-state", _enc_new_state, _dec_new_state),
+    AcceptEpoch: ("accept-epoch", _enc_accept, _dec_accept),
+    Envelope: ("envelope", _enc_envelope, _dec_envelope),
+    Batch: ("batch", _enc_batch, _dec_batch),
+}
+
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    tag: dec for tag, _, dec in CODECS.values()
+}
+
+
+def encode_message(msg: Any) -> Dict[str, Any]:
+    """Encode a registered wire message into a tagged JSON-safe dict."""
+    entry = CODECS.get(msg.__class__)
+    if entry is None:
+        raise CodecError(
+            f"no codec registered for message class "
+            f"{msg.__class__.__module__}.{msg.__class__.__name__}"
+        )
+    tag, enc, _ = entry
+    body = enc(msg)
+    body["k"] = tag
+    return body
+
+
+def decode_message(data: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_message`."""
+    tag = data.get("k")
+    dec = _DECODERS.get(tag) if isinstance(tag, str) else None
+    if dec is None:
+        raise CodecError(f"no codec registered for wire tag {tag!r}")
+    return dec(data)
+
+
+def canonical_message_bytes(msg: Any) -> bytes:
+    """Canonical encoding of one message — equal bytes iff equal content
+    (the round-trip tests' equality witness for slotted classes)."""
+    return _canonical(encode_message(msg)).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# frame layer
+# ----------------------------------------------------------------------
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One frame: canonical JSON body behind a 4-byte length prefix."""
+    body = _canonical(obj).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return LEN_STRUCT.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    ``feed`` accepts any chunking (TCP does not respect frame
+    boundaries) and returns the complete frames it finished.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buf.extend(data)
+        frames: List[Dict[str, Any]] = []
+        buf = self._buf
+        while True:
+            if len(buf) < LEN_STRUCT.size:
+                break
+            (length,) = LEN_STRUCT.unpack_from(buf)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+            end = LEN_STRUCT.size + length
+            if len(buf) < end:
+                break
+            body = bytes(buf[LEN_STRUCT.size:end])
+            del buf[:end]
+            obj = json.loads(body.decode("utf-8"))
+            if not isinstance(obj, dict):
+                raise CodecError(f"frame body is not an object: {obj!r}")
+            frames.append(obj)
+        return frames

@@ -1,0 +1,149 @@
+"""Differential harness: the sim and net backends must agree.
+
+The same :class:`~repro.core.process.PrimCastProcess` code runs over
+two substrates — the deterministic simulator and real asyncio sockets.
+The workload (:mod:`repro.net.workload`) is shaped so the protocol
+*determines* the observable outcome regardless of timing: final
+timestamps strictly increase in submission order, so every group
+delivers exactly the submission-order subsequence addressed to it.
+Agreement is therefore an exact check, not a statistical one:
+
+* per pid, the **delivered set** must be identical across backends
+  (killed nodes excepted — theirs must be a prefix of their group's
+  order), and
+* per group, every member's **delivery order** must be identical, and
+  identical across backends.
+
+A violation means one backend reordered or dropped an a-delivery the
+other performed — a safety bug in the transport port, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import GroupConfig
+from ..core.process import PrimCastProcess
+from ..sim.costs import CostModel
+from ..sim.events import Scheduler
+from ..sim.latency import ConstantLatency
+from ..sim.network import Network
+from ..sim.rng import child_rng
+from .cluster import ClusterResult
+from .host import Topology
+
+MessageId = Tuple[int, int]
+DeliveryMap = Dict[int, List[Tuple[MessageId, int]]]
+
+
+def run_sim_reference(topology: Topology) -> DeliveryMap:
+    """Run the topology's workload on the simulator; pid -> deliveries.
+
+    Failure-free (the kill, if any, happens only on the net side; the
+    sim reference defines the full no-failure outcome that survivors
+    must still produce). No oracle is attached, so the event heap
+    drains when the protocol quiesces and the run terminates on its
+    own.
+    """
+    config = GroupConfig([list(g) for g in topology.groups])
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, ConstantLatency(1.0), child_rng(topology.seed, "latency")
+    )
+    procs = {
+        pid: PrimCastProcess(pid, config, scheduler, network, CostModel())
+        for pid in config.all_pids
+    }
+    workload = topology.workload()
+    driver = procs[topology.driver_pid]
+    state = {"next": 0}
+
+    def submit_next() -> None:
+        i = state["next"]
+        if i >= len(workload):
+            return
+        state["next"] += 1
+        driver.a_multicast(workload[i], payload={"i": i})
+
+    def on_driver_deliver(proc: PrimCastProcess, multicast: object, final: int) -> None:
+        mid = multicast.mid  # type: ignore[attr-defined]
+        if mid[0] == topology.driver_pid and mid[1] + 1 == state["next"]:
+            proc.post_job(submit_next)
+
+    driver.add_deliver_hook(on_driver_deliver)
+    scheduler.call_after(0.0, submit_next)
+    scheduler.run(until=10_000_000.0)
+    return {
+        pid: [(mid, final) for mid, final, _t in proc.delivery_log]
+        for pid, proc in procs.items()
+    }
+
+
+def compare_deliveries(
+    reference: DeliveryMap,
+    observed: DeliveryMap,
+    config: GroupConfig,
+    killed: Optional[int] = None,
+) -> List[str]:
+    """Mismatch descriptions (empty = the backends agree).
+
+    ``observed`` rows for a killed pid are held only to the prefix
+    property; every other pid must match the reference exactly.
+    """
+    problems: List[str] = []
+    for pid, ref_rows in sorted(reference.items()):
+        obs_rows = observed.get(pid)
+        if obs_rows is None:
+            problems.append(f"pid {pid}: no observed deliveries")
+            continue
+        ref_order = [mid for mid, _f in ref_rows]
+        obs_order = [mid for mid, _f in obs_rows]
+        if pid == killed:
+            if obs_order != ref_order[: len(obs_order)]:
+                problems.append(
+                    f"pid {pid} (killed): delivered order is not a prefix "
+                    f"of the reference ({obs_order!r} vs {ref_order!r})"
+                )
+            continue
+        if set(obs_order) != set(ref_order):
+            missing = sorted(set(ref_order) - set(obs_order))
+            extra = sorted(set(obs_order) - set(ref_order))
+            problems.append(
+                f"pid {pid}: delivered set differs "
+                f"(missing {missing!r}, extra {extra!r})"
+            )
+            continue
+        if obs_order != ref_order:
+            problems.append(
+                f"pid {pid}: delivery order differs "
+                f"({obs_order!r} vs {ref_order!r})"
+            )
+    # Cross-member agreement inside each backend: every member of a
+    # group must see the group's messages in one order.
+    for name, rows_by_pid in (("reference", reference), ("observed", observed)):
+        for gid in range(config.n_groups):
+            orders = {}
+            for pid in config.members(gid):
+                if pid == killed and name == "observed":
+                    continue
+                rows = rows_by_pid.get(pid)
+                if rows is not None:
+                    orders[pid] = [mid for mid, _f in rows]
+            if len(set(map(tuple, orders.values()))) > 1:
+                problems.append(
+                    f"{name}: group {gid} members disagree on order: {orders!r}"
+                )
+    return problems
+
+
+def diff_cluster_result(result: ClusterResult) -> List[str]:
+    """Differential check for a finished cluster run (either runner)."""
+    reference = run_sim_reference(result.topology)
+    observed: DeliveryMap = {
+        pid: outcome.delivered for pid, outcome in result.outcomes.items()
+    }
+    killed = next(
+        (pid for pid, o in result.outcomes.items() if o.killed), None
+    )
+    config = result.topology.make_config()
+    return compare_deliveries(reference, observed, config, killed=killed)

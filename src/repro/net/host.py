@@ -1,0 +1,600 @@
+"""The asyncio adapter: unmodified protocol processes on a real event loop.
+
+The protocol core consumes the substrate exclusively through the
+:class:`~repro.net.runtime.SchedulerAPI` / ``TransportAPI`` seam. This
+module implements both halves over asyncio:
+
+* :class:`NetScheduler` — time is ``(loop.time() - t0) * 1000`` ms
+  (monotonic, per-node); ``call_after`` arms a real ``loop.call_later``
+  timer; the seam's allocation-free heap (``_heap`` / ``_seq``) is a
+  real heap that :meth:`NetScheduler.drain` runs to empty after every
+  external stimulus. With the zero-cost CPU model every entry the
+  process pushes is due immediately, so draining preserves the exact
+  *relative* order the sim would execute — and because the drain loop
+  runs each callback to completion on the single-threaded event loop,
+  per-process **handler atomicity** (the RACE202 standing-proposal
+  contract, DESIGN.md §10/§12) holds exactly as it does on the
+  simulator's event loop.
+* :class:`TransportFacade` — ``transmit`` delivers self-addressed
+  messages synchronously (the sim's zero-latency self-channel) and
+  encodes everything else onto the per-peer TCP connection
+  (:mod:`repro.net.transport`); per-channel FIFO comes from TCP.
+
+:class:`NetNode` assembles one protocol process with its facades,
+heartbeat oracle, delivery log and workload driver — one node per OS
+process under the cluster launcher (:mod:`repro.net.cluster`), or many
+nodes on one loop in the in-process differential tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from collections import Counter
+
+from ..core.config import GroupConfig
+from ..core.process import PrimCastProcess
+from ..sim.costs import CostModel
+from .codec import decode_message, encode_message
+from .election import DEFAULT_HB_INTERVAL_MS, DEFAULT_SUSPECT_MS, HeartbeatOmega
+from .runtime import Runtime, SchedulerAPI, TransportAPI
+from .transport import Transport
+from .workload import expected_count, make_workload
+
+#: Node exit codes (the launcher interprets these).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_TIMEOUT = 3
+
+
+class _LoopTimerHandle:
+    """Cancellable handle over ``loop.call_later`` (TimerHandle shape)."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
+
+
+class NetScheduler:
+    """SchedulerAPI over an asyncio loop with a monotonic ms clock.
+
+    Processes push service events into ``_heap`` (the seam's fast
+    path); :meth:`drain` pops and runs them in ``(time, seq)`` order.
+    Under the zero-cost CPU model every pushed entry is due at ``now``,
+    so a drain runs the node's whole causal cascade — receive, handle,
+    transmit — to quiescence before the event loop regains control,
+    which is precisely the sim's run-to-completion discipline.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._t0 = loop.time()
+        self._heap: List[Tuple[float, int, Any, Any]] = []
+        self._seq = 0
+        self._draining = False
+        #: Heap entries executed (parity with Scheduler.events_processed).
+        self.events_processed = 0
+        #: Set by NetNode.kill(): a dead scheduler runs nothing, which
+        #: silences the node completely (in-process crash injection).
+        self.dead = False
+
+    @property
+    def now(self) -> float:
+        """Milliseconds since this node's runtime started (monotonic)."""
+        return (self._loop.time() - self._t0) * 1000.0
+
+    # -- seam surface ----------------------------------------------------
+
+    def schedule(
+        self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...] = ()
+    ) -> None:
+        heappush(self._heap, (time, self._seq, fn, args))
+        self._seq += 1
+        self.kick()
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> _LoopTimerHandle:
+        delay = time - self.now
+        return self.call_after(delay if delay > 0.0 else 0.0, fn, *args)
+
+    def call_after(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> _LoopTimerHandle:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        handle = self._loop.call_later(delay / 1000.0, self._fire, fn, args)
+        return _LoopTimerHandle(handle)
+
+    # -- execution -------------------------------------------------------
+
+    def _fire(self, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        if self.dead:
+            return
+        fn(*args)
+        self.drain()
+
+    def kick(self) -> None:
+        """Run the heap to quiescence unless a drain is already active
+        higher up the stack (re-entrant pushes just extend that drain)."""
+        if not self._draining:
+            self.drain()
+
+    def drain(self) -> None:
+        if self._draining or self.dead:
+            return
+        self._draining = True
+        heap = self._heap
+        try:
+            while heap:
+                entry = heap[0]
+                due = entry[0] - self.now
+                if due > 0.5:
+                    # Genuinely future work (a non-zero cost model):
+                    # hand it to the loop instead of busy-waiting.
+                    self._loop.call_later(due / 1000.0, self.kick)
+                    break
+                heappop(heap)
+                self.events_processed += 1
+                entry[2](*entry[3])
+        finally:
+            self._draining = False
+
+
+class TransportFacade:
+    """TransportAPI over the per-peer connection manager.
+
+    Self-addressed messages are delivered synchronously (the sim's
+    zero-latency self-channel); remote messages are encoded once per
+    destination and queued on that peer's TCP connection.
+    """
+
+    def __init__(self, scheduler: NetScheduler) -> None:
+        self._scheduler = scheduler
+        self._transport: Optional[Transport] = None
+        self.processes: Dict[int, Any] = {}
+        #: Wire messages by kind (mirrors Network.counts_by_kind).
+        self.counts_by_kind: Counter[str] = Counter()
+        self.messages_sent = 0
+
+    def bind(self, transport: Transport) -> None:
+        self._transport = transport
+
+    def register(self, proc: Any) -> None:
+        if proc.pid in self.processes:
+            raise ValueError(f"duplicate pid {proc.pid}")
+        self.processes[proc.pid] = proc
+
+    def transmit(self, src: int, dst: int, msg: Any, depart_time: float) -> None:
+        self.messages_sent += 1
+        kind = getattr(msg, "kind", msg.__class__.__name__)
+        self.counts_by_kind[kind] += 1
+        local = self.processes.get(dst)
+        if local is not None:
+            local.enqueue_message(src, msg)
+            self._scheduler.kick()
+            return
+        if self._transport is None:
+            raise RuntimeError("transport not bound yet (node still starting)")
+        self._transport.send_frame(dst, {"t": "m", "src": src, "m": encode_message(msg)})
+
+
+class AsyncioRuntime(Runtime):
+    """The net backend's Runtime: facade pair over one asyncio loop."""
+
+    backend = "net"
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        super().__init__()
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._scheduler = NetScheduler(self._loop)
+        self._transport_facade = TransportFacade(self._scheduler)
+
+    @property
+    def scheduler(self) -> SchedulerAPI:
+        sched: SchedulerAPI = self._scheduler
+        return sched
+
+    @property
+    def transport(self) -> TransportAPI:
+        facade: TransportAPI = self._transport_facade
+        return facade
+
+    @property
+    def net_scheduler(self) -> NetScheduler:
+        return self._scheduler
+
+    @property
+    def transport_facade(self) -> TransportFacade:
+        return self._transport_facade
+
+    def run(self, until: float) -> float:
+        """Pump the loop until runtime time reaches ``until`` ms. Only
+        usable from outside the loop (driver-style code); nodes under a
+        running loop are driven by their own coroutines instead."""
+        if self._loop.is_running():
+            raise RuntimeError("run() cannot be called from inside the event loop")
+        remaining = (until - self._scheduler.now) / 1000.0
+        if remaining > 0:
+            self._loop.run_until_complete(asyncio.sleep(remaining))
+        return self._scheduler.now
+
+
+# ----------------------------------------------------------------------
+# topology
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Topology:
+    """A cluster description, JSON-serializable for the launcher."""
+
+    groups: List[List[int]]
+    addresses: Dict[int, Tuple[str, int]]
+    seed: int = 1
+    n_messages: int = 16
+    driver_pid: int = 0
+    extra_group_p: float = 0.5
+    hb_interval_ms: float = DEFAULT_HB_INTERVAL_MS
+    suspect_ms: float = DEFAULT_SUSPECT_MS
+    run_timeout_s: float = 60.0
+    linger_ms: float = 250.0
+    #: Fault-injection sync point: the driver pauses its submission
+    #: chain after delivering this many of its own messages and resumes
+    #: only once a ``RELEASE`` file appears in the rundir (the
+    #: coordinator writes it right after performing the kill). ``None``
+    #: means never pause.
+    hold_after: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "groups": [list(g) for g in self.groups],
+            "addresses": {str(pid): [h, p] for pid, (h, p) in self.addresses.items()},
+            "seed": self.seed,
+            "n_messages": self.n_messages,
+            "driver_pid": self.driver_pid,
+            "extra_group_p": self.extra_group_p,
+            "hb_interval_ms": self.hb_interval_ms,
+            "suspect_ms": self.suspect_ms,
+            "run_timeout_s": self.run_timeout_s,
+            "linger_ms": self.linger_ms,
+            "hold_after": self.hold_after,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Topology":
+        return cls(
+            groups=[list(g) for g in data["groups"]],
+            addresses={
+                int(pid): (hp[0], int(hp[1]))
+                for pid, hp in data["addresses"].items()
+            },
+            seed=data["seed"],
+            n_messages=data["n_messages"],
+            driver_pid=data["driver_pid"],
+            extra_group_p=data["extra_group_p"],
+            hb_interval_ms=data["hb_interval_ms"],
+            suspect_ms=data["suspect_ms"],
+            run_timeout_s=data["run_timeout_s"],
+            linger_ms=data["linger_ms"],
+            hold_after=data.get("hold_after"),
+        )
+
+    def make_config(self) -> GroupConfig:
+        return GroupConfig(self.groups)
+
+    def workload(self) -> List[FrozenSet[int]]:
+        return make_workload(
+            len(self.groups), self.n_messages, self.seed, self.extra_group_p
+        )
+
+
+# ----------------------------------------------------------------------
+# node
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NodeResult:
+    """What one node reports at exit (also written to summary JSON)."""
+
+    pid: int
+    gid: int
+    exit_code: int
+    delivered: List[Tuple[Tuple[int, int], int]] = field(default_factory=list)
+    expected: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    wall_ms: float = 0.0
+    transport: Dict[str, Any] = field(default_factory=dict)
+    epochs_seen: int = 0
+
+
+class NetNode:
+    """One protocol process on one event loop, with its substrate.
+
+    Lifecycle (files under ``rundir`` are the coordination protocol the
+    launcher shares — it works identically across OS processes and for
+    many nodes on one loop):
+
+    1. bind server, write ``ready-<pid>``;
+    2. wait for ``GO``, dial all peers, start heartbeats;
+    3. run the seeded workload (the driver node submits sequentially,
+       one outstanding, gated on its own delivery);
+    4. on delivering everything addressed to this group, write
+       ``done-<pid>`` and keep serving (acks + heartbeats for
+       stragglers);
+    5. on ``STOP``, flush queues, linger ``linger_ms``, close, write
+       ``summary-<pid>.json`` and exit 0 (3 on watchdog timeout).
+    """
+
+    def __init__(self, topology: Topology, pid: int, rundir: Path) -> None:
+        self.topology = topology
+        self.pid = pid
+        self.rundir = Path(rundir)
+        self.config = topology.make_config()
+        self.gid = self.config.group_of[pid]
+        self.workload = topology.workload()
+        self.expected = expected_count(self.workload, self.gid)
+        self.is_driver = pid == topology.driver_pid
+        self.runtime: Optional[AsyncioRuntime] = None
+        self.proc: Optional[PrimCastProcess] = None
+        self.omega: Optional[HeartbeatOmega] = None
+        self._transport: Optional[Transport] = None
+        self._delivered = 0
+        self._next_submit = 0
+        self._first_submit_ms: Optional[float] = None
+        self._last_deliver_ms: Optional[float] = None
+        self._submit_times: Dict[int, float] = {}
+        self._latencies: List[float] = []
+        self._epochs_seen = 0
+        self._hold_task: Optional["asyncio.Task[None]"] = None
+        self._done = asyncio.Event()
+        self._log_fh: Optional[Any] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def run(self) -> NodeResult:
+        try:
+            return await asyncio.wait_for(
+                self._run(), timeout=self.topology.run_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return self._result(EXIT_TIMEOUT)
+        finally:
+            if self._log_fh is not None:
+                self._log_fh.close()
+                self._log_fh = None
+
+    async def _run(self) -> NodeResult:
+        runtime = self.runtime = AsyncioRuntime()
+        sched = runtime.net_scheduler
+        facade = runtime.transport_facade
+        proc = self.proc = PrimCastProcess(
+            self.pid,
+            self.config,
+            sched,
+            facade,
+            CostModel(),  # zero-cost CPU: every handler is due immediately
+        )
+        transport = self._transport = Transport(
+            self.pid,
+            self.topology.addresses,
+            on_frame=self._on_frame,
+            probe=runtime.probe,
+        )
+        facade.bind(transport)
+        self._log_fh = open(self.rundir / f"delivery-{self.pid}.jsonl", "w")
+        proc.add_deliver_hook(self._on_deliver)
+        proc.add_probe_hook(self._on_probe)
+
+        await transport.start()
+        (self.rundir / f"ready-{self.pid}").write_text("ready\n")
+        await self._wait_for_file(self.rundir / "GO")
+        await transport.connect_all()
+        members = self.config.members(self.gid)
+        omega = self.omega = HeartbeatOmega(
+            self.gid,
+            members,
+            self.pid,
+            sched,
+            self._send_heartbeats,
+            hb_interval_ms=self.topology.hb_interval_ms,
+            suspect_ms=self.topology.suspect_ms,
+        )
+        proc.omega = omega
+        omega.subscribe(proc._on_omega_output)
+        omega.start()
+
+        if self.is_driver:
+            proc.post_job(self._submit_next)
+        if self.expected == 0:
+            self._done.set()
+        await self._done.wait()
+        (self.rundir / f"done-{self.pid}").write_text("done\n")
+        await self._wait_for_file(self.rundir / "STOP")
+        omega.stop()
+        await transport.flush()
+        await asyncio.sleep(self.topology.linger_ms / 1000.0)
+        await transport.close()
+        result = self._result(EXIT_OK)
+        self._write_summary(result)
+        return result
+
+    async def _wait_for_file(self, path: Path, poll_s: float = 0.02) -> None:
+        while not path.exists():
+            await asyncio.sleep(poll_s)
+
+    # -- frame handling (event-loop context) -----------------------------
+
+    def _on_frame(self, src: int, frame: Dict[str, Any]) -> None:
+        t = frame.get("t")
+        if t == "m":
+            assert self.proc is not None and self.runtime is not None
+            msg = decode_message(frame["m"])
+            if self.omega is not None:
+                self.omega.heard_from(src)
+            self.proc.enqueue_message(int(frame.get("src", src)), msg)
+            self.runtime.net_scheduler.kick()
+        elif t == "hb":
+            if self.omega is not None:
+                self.omega.heard_from(int(frame["pid"]))
+
+    def _send_heartbeats(self) -> None:
+        transport = self._transport
+        if transport is None:
+            return
+        frame = {"t": "hb", "pid": self.pid}
+        for pid in self.config.members(self.gid):
+            if pid != self.pid and pid in transport.peers:
+                transport.send_frame(pid, frame)
+
+    # -- workload --------------------------------------------------------
+
+    def _submit_next(self) -> None:
+        i = self._next_submit
+        if i >= len(self.workload):
+            return
+        self._next_submit += 1
+        assert self.proc is not None and self.runtime is not None
+        now = self.runtime.net_scheduler.now
+        if self._first_submit_ms is None:
+            self._first_submit_ms = now
+        self._submit_times[i] = now
+        self.proc.a_multicast(self.workload[i], payload={"i": i})
+
+    def _on_deliver(self, proc: Any, multicast: Any, final_ts: int) -> None:
+        mid = multicast.mid
+        if self.runtime is not None:
+            self._last_deliver_ms = self.runtime.net_scheduler.now
+        if self._log_fh is not None:
+            assert self.runtime is not None
+            self._log_fh.write(
+                json.dumps(
+                    {
+                        "mid": [mid[0], mid[1]],
+                        "final": final_ts,
+                        "t": round(self.runtime.net_scheduler.now, 3),
+                    }
+                )
+                + "\n"
+            )
+            self._log_fh.flush()
+        self._delivered += 1
+        if self.is_driver and mid[0] == self.pid:
+            submitted = self._submit_times.pop(mid[1], None)
+            if submitted is not None:
+                assert self.runtime is not None
+                self._latencies.append(self.runtime.net_scheduler.now - submitted)
+            if mid[1] + 1 == self._next_submit:
+                if (
+                    self.topology.hold_after is not None
+                    and mid[1] + 1 == self.topology.hold_after
+                ):
+                    # Fault-injection sync point: pause the submission
+                    # chain until the coordinator has performed the kill
+                    # and written RELEASE — without this, a fast workload
+                    # can finish before the coordinator's file poll
+                    # notices it reached the kill mark.
+                    self._hold_task = asyncio.get_running_loop().create_task(
+                        self._hold_for_release()
+                    )
+                else:
+                    # Sequential, one outstanding: our own delivery of
+                    # message i releases message i+1.
+                    proc.post_job(self._submit_next)
+        if self._delivered >= self.expected:
+            self._done.set()
+
+    async def _hold_for_release(self) -> None:
+        await self._wait_for_file(self.rundir / "RELEASE")
+        assert self.proc is not None and self.runtime is not None
+        self.proc.post_job(self._submit_next)
+        self.runtime.net_scheduler.kick()
+
+    def _on_probe(self, proc: Any, event: str, data: Any) -> None:
+        if event == "epoch_change":
+            self._epochs_seen += 1
+
+    # -- crash injection (in-process clusters) ---------------------------
+
+    async def kill(self) -> None:
+        """Silence this node completely: the in-process stand-in for
+        SIGKILL. The scheduler is marked dead (no callback ever runs
+        again), the oracle stops, and all sockets close."""
+        if self.omega is not None:
+            self.omega.stop()
+        if self.runtime is not None:
+            self.runtime.net_scheduler.dead = True
+        if self._transport is not None:
+            await self._transport.close()
+        if self._log_fh is not None:
+            self._log_fh.close()
+            self._log_fh = None
+
+    # -- reporting -------------------------------------------------------
+
+    def _result(self, exit_code: int) -> NodeResult:
+        transport_stats = self._transport.stats() if self._transport else {}
+        delivered = []
+        if self.proc is not None:
+            delivered = [(mid, final) for mid, final, _ in self.proc.delivery_log]
+        return NodeResult(
+            pid=self.pid,
+            gid=self.gid,
+            exit_code=exit_code,
+            delivered=delivered,
+            expected=self.expected,
+            latencies_ms=[round(l, 3) for l in self._latencies],
+            wall_ms=self.runtime.net_scheduler.now if self.runtime else 0.0,
+            transport=transport_stats,
+            epochs_seen=self._epochs_seen,
+        )
+
+    def _write_summary(self, result: NodeResult) -> None:
+        workload_ms = 0.0
+        if self._first_submit_ms is not None and self._last_deliver_ms is not None:
+            workload_ms = self._last_deliver_ms - self._first_submit_ms
+        payload = {
+            "pid": result.pid,
+            "gid": result.gid,
+            "exit_code": result.exit_code,
+            "delivered": [[list(mid), final] for mid, final in result.delivered],
+            "expected": result.expected,
+            "latencies_ms": result.latencies_ms,
+            "wall_ms": round(result.wall_ms, 3),
+            #: first submission to last local delivery (driver node only)
+            "workload_ms": round(workload_ms, 3),
+            "transport": result.transport,
+            "message_counts": (
+                dict(self.runtime.transport_facade.counts_by_kind)
+                if self.runtime is not None
+                else {}
+            ),
+            "events": (
+                self.runtime.net_scheduler.events_processed
+                if self.runtime is not None
+                else 0
+            ),
+            "epochs_seen": result.epochs_seen,
+            "backend": "net",
+        }
+        (self.rundir / f"summary-{self.pid}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def run_node(topology: Topology, pid: int, rundir: Path) -> int:
+    """Blocking entry point for one node OS process."""
+    node = NetNode(topology, pid, Path(rundir))
+    result = asyncio.run(node.run())
+    return result.exit_code

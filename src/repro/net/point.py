@@ -1,0 +1,90 @@
+"""`--backend net` load points for the harness CLI.
+
+Runs a localhost cluster (real sockets, real clocks) shaped like a
+harness point run and reports a :class:`~repro.harness.runner.RunResult`
+with ``backend="net"`` so exported rows and BENCH entries are never
+mistaken for simulator numbers.
+
+Scope: the net point is a *latency* measurement of the real transport
+stack, not a throughput sweep — the driver submits sequentially with
+one outstanding message (the shape whose outcome the differential
+harness can check exactly), so ``outstanding`` is pinned to 1 and
+throughput is simply messages over the workload's wall time. Every
+message targets all ``n_dest_groups`` groups, matching the harness
+meaning of ``--dests``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..harness.metrics import summarize
+from ..harness.runner import RunResult
+from .cluster import ClusterSpec, launch_cluster
+
+#: Scenario name recorded for net rows: there is no latency model to
+#: name — the wire is the loopback interface.
+NET_SCENARIO = "localhost"
+
+
+def run_net_point(
+    protocol: str = "primcast",
+    n_dest_groups: int = 2,
+    n_messages: int = 32,
+    seed: int = 1,
+    group_size: int = 3,
+    rundir: Optional[Path] = None,
+    run_timeout_s: float = 120.0,
+) -> RunResult:
+    """One localhost-cluster load point; blocking, returns a RunResult.
+
+    Latency samples are the driver's submit→a-deliver wall times, the
+    direct net analogue of the harness's client-side measurement.
+    """
+    if protocol != "primcast":
+        raise ValueError(
+            f"the net backend runs the primcast protocol only, not {protocol!r}"
+        )
+    if n_dest_groups < 1:
+        raise ValueError("need at least one destination group")
+    spec = ClusterSpec(
+        n_groups=n_dest_groups,
+        group_size=group_size,
+        n_messages=n_messages,
+        seed=seed,
+        # Every message targets all groups: n_dest_groups destinations,
+        # same meaning as the harness --dests flag.
+        extra_group_p=1.0,
+        run_timeout_s=run_timeout_s,
+    )
+    if rundir is None:
+        rundir = Path(tempfile.mkdtemp(prefix="repro-net-point-"))
+    result = launch_cluster(spec, rundir)
+    if not result.ok:
+        raise RuntimeError(
+            f"net point cluster failed (rundir: {rundir}); see node-*.log"
+        )
+    driver = result.outcomes[result.topology.driver_pid]
+    summary = driver.summary or {}
+    latencies = [float(l) for l in summary.get("latencies_ms", [])]
+    workload_ms = float(summary.get("workload_ms", 0.0)) or 1.0
+    message_counts: dict = {}
+    events = 0
+    for outcome in result.outcomes.values():
+        for kind, count in (outcome.summary or {}).get("message_counts", {}).items():
+            message_counts[kind] = message_counts.get(kind, 0) + count
+        events += (outcome.summary or {}).get("events", 0)
+    return RunResult(
+        protocol=protocol,
+        scenario=NET_SCENARIO,
+        n_dest_groups=n_dest_groups,
+        outstanding=1,
+        throughput=n_messages / (workload_ms / 1000.0),
+        latency=summarize(latencies),
+        samples=[],
+        message_counts=message_counts,
+        events=events,
+        backend="net",
+    )

@@ -1,0 +1,51 @@
+"""Seeded workloads shared by the sim and net backends.
+
+The differential harness needs both backends to run the *same* message
+sequence: destination sets are a pure function of ``(n_groups,
+n_messages, seed, extra_group_p)``, derived through the repo's seeded
+RNG tree so the net backend cannot drift from the sim reference.
+
+The shape is chosen so the per-group delivery order is *determined* by
+the protocol, independent of wall-clock timing (DESIGN.md §12):
+
+* the driver's group (group 0) is in every destination set, and
+* the driver submits sequentially with one outstanding message, gated
+  on its own delivery.
+
+Message ``i+1`` is only proposed after the driver delivered message
+``i``, so ``final(i+1) >= ts_{group 0}(i+1) > final(i)`` — final
+timestamps strictly increase in submission order, even across epoch
+changes. Each group therefore delivers exactly the submission-order
+subsequence addressed to it, on every backend, every run.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..sim.rng import child_rng
+
+
+def make_workload(
+    n_groups: int,
+    n_messages: int,
+    seed: int,
+    extra_group_p: float = 0.5,
+) -> List[FrozenSet[int]]:
+    """Destination set for each message, driver's group always included."""
+    if n_groups < 1:
+        raise ValueError("need at least one group")
+    rng = child_rng(seed, "net-workload")
+    dests: List[FrozenSet[int]] = []
+    for _ in range(n_messages):
+        d = {0}
+        for g in range(1, n_groups):
+            if rng.random() < extra_group_p:
+                d.add(g)
+        dests.append(frozenset(d))
+    return dests
+
+
+def expected_count(workload: List[FrozenSet[int]], gid: int) -> int:
+    """How many workload messages a member of ``gid`` must deliver."""
+    return sum(1 for dests in workload if gid in dests)

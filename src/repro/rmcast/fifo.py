@@ -44,12 +44,13 @@ completely inert and the wire trace is identical to the unbatched one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.costs import CostModel
-from ..sim.events import Scheduler
-from ..sim.network import Network
 from ..sim.process import SimProcess
+
+if TYPE_CHECKING:
+    from ..net.runtime import SchedulerAPI, TransportAPI
 
 #: Payload kinds the batching layer may coalesce: PrimCast's small
 #: mergeable acknowledgement traffic (§7.1). Everything else always
@@ -294,8 +295,8 @@ class RMcastProcess(SimProcess):
     def __init__(
         self,
         pid: int,
-        scheduler: Scheduler,
-        network: Network,
+        scheduler: "SchedulerAPI",
+        network: "TransportAPI",
         cost_model: Optional[CostModel] = None,
         relay: bool = False,
         batching_ms: float = 0.0,

@@ -16,30 +16,40 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappush
-from typing import Any, Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional, Tuple
 
 from .._backend import mypyc_attr
 from .costs import CostModel
-from .events import Scheduler
-from .network import Network
+
+if TYPE_CHECKING:
+    from ..net.runtime import SchedulerAPI, TransportAPI
 
 
 @mypyc_attr(allow_interpreted_subclasses=True)
 class SimProcess:
     """Base class for all simulated processes (replicas and clients).
 
+    The substrate is consumed through the structural seam of
+    :mod:`repro.net.runtime`: any ``SchedulerAPI`` / ``TransportAPI``
+    pair works — the simulator's :class:`~repro.sim.events.Scheduler` /
+    :class:`~repro.sim.network.Network` or the asyncio facades of
+    :mod:`repro.net.host`. The hot paths below push directly into
+    ``scheduler._heap`` / ``scheduler._seq``; that fast path is part of
+    the seam contract (see ``SchedulerAPI``).
+
     Args:
         pid: globally unique process id.
-        scheduler: shared event scheduler.
-        network: shared network (the process registers itself).
+        scheduler: shared event scheduler (``SchedulerAPI``).
+        network: shared transport (``TransportAPI``; the process
+            registers itself).
         cost_model: CPU cost model; ``None`` means zero-cost CPU.
     """
 
     def __init__(
         self,
         pid: int,
-        scheduler: Scheduler,
-        network: Network,
+        scheduler: "SchedulerAPI",
+        network: "TransportAPI",
         cost_model: Optional[CostModel] = None,
     ) -> None:
         self.pid = pid

@@ -1,0 +1,94 @@
+"""In-process asyncio cluster tests: differential vs sim + kill failover.
+
+These run the *real* asyncio backend — real sockets on loopback, real
+monotonic clocks, the same ``PrimCastProcess`` objects as the simulator
+— inside a single OS process (every node is a task on one event loop),
+which keeps them fast enough for tier-1. The multi-OS-process variant
+of exactly this workload runs in CI's ``net-smoke`` job via
+``python -m repro.net diff``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.cluster import ClusterSpec, make_topology, run_cluster_inprocess
+from repro.net.differential import diff_cluster_result, run_sim_reference
+from repro.net.workload import expected_count, make_workload
+
+
+def _run(spec: ClusterSpec, tmp_path, kill_pid=None, kill_after=0):
+    topology = make_topology(spec)
+    return asyncio.run(
+        run_cluster_inprocess(
+            topology, tmp_path, kill_pid=kill_pid, kill_after=kill_after
+        )
+    )
+
+
+def test_workload_is_deterministic_and_rooted_in_group_zero():
+    a = make_workload(3, 20, seed=9)
+    b = make_workload(3, 20, seed=9)
+    assert a == b
+    assert all(0 in dest for dest in a)
+    assert make_workload(3, 20, seed=10) != a
+    assert expected_count(a, 0) == 20
+
+
+def test_asyncio_cluster_matches_sim_reference(tmp_path):
+    spec = ClusterSpec(n_groups=2, group_size=3, n_messages=8, seed=5)
+    result = _run(spec, tmp_path)
+    assert result.ok, [(o.pid, o.exit_code) for o in result.outcomes.values()]
+    problems = diff_cluster_result(result)
+    assert problems == []
+    # Sanity: the sim reference itself delivered the full workload.
+    reference = run_sim_reference(result.topology)
+    workload = result.topology.workload()
+    for pid in range(spec.group_size):  # group 0 sees every message
+        assert len(reference[pid]) == len(workload)
+
+
+def test_asyncio_cluster_survives_killed_leader(tmp_path):
+    # Kill group 1's initial leader (pid 3) after 2 driver deliveries:
+    # the survivors must elect a new leader, resume delivery, finish the
+    # whole workload, and still agree with the failure-free simulator.
+    spec = ClusterSpec(
+        n_groups=2,
+        group_size=3,
+        n_messages=8,
+        seed=5,
+        kill_pid=3,
+        kill_after=2,
+        suspect_ms=300.0,
+    )
+    result = _run(spec, tmp_path, kill_pid=3, kill_after=2)
+    assert 3 not in result.survivors
+    workload = result.topology.workload()
+    config = result.topology.make_config()
+    for pid in result.survivors:
+        outcome = result.outcomes[pid]
+        assert outcome.exit_code == 0, (pid, outcome.exit_code)
+        assert len(outcome.delivered) == expected_count(
+            workload, config.group_of[pid]
+        )
+    assert diff_cluster_result(result) == []
+    # At least one survivor in the victim's group observed the epoch
+    # change that failover requires.
+    epochs = [
+        (result.outcomes[pid].summary or {}).get("epochs_seen", 0)
+        for pid in result.survivors
+        if config.group_of[pid] == 1
+    ]
+    assert any(e > 0 for e in epochs), epochs
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=0).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(n_groups=2, group_size=2, n_messages=4, kill_pid=3).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=99).validate()
+    ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=3).validate()
