@@ -85,10 +85,32 @@ def max_throughput_by_protocol(results: List[RunResult]) -> Dict[str, float]:
 def history_markdown(rows: List[Dict[str, Any]]) -> str:
     """Markdown trajectory table over perf-history rows, oldest first.
 
-    Each row is one ``perf --append-history`` measurement of the
-    standard smoke point. The Δ column is the events/sec change against
-    the *previous* row, so per-PR wins and regressions read directly off
-    the table; speedup-vs-seed is cumulative.
+    Rows come in two shapes, split into separate sections by their
+    ``backend`` tag: simulator smoke-point measurements (``perf
+    --append-history``; wall seconds and events/sec) and net-backend
+    wire-path measurements (``perf --net --append-history``; msgs/sec
+    over real sockets). The two are not comparable — the Δ column of
+    each section tracks its own previous row only.
+    """
+    sim_rows = [r for r in rows if r.get("backend") != "net"]
+    net_rows = [r for r in rows if r.get("backend") == "net"]
+    if not net_rows:
+        # Pure-sim logs (and the empty log) render exactly as before.
+        return _sim_history_table(sim_rows)
+    sections: List[str] = []
+    if sim_rows:
+        sections.append(_sim_history_table(sim_rows))
+    header = "**Net backend (wire-path msgs/sec, real sockets)**"
+    sections.append(header + "\n\n" + _net_history_table(net_rows))
+    return "\n\n".join(sections)
+
+
+def _sim_history_table(rows: List[Dict[str, Any]]) -> str:
+    """The simulator smoke-point trajectory (the original table).
+
+    The Δ column is the events/sec change against the *previous* row,
+    so per-PR wins and regressions read directly off the table;
+    speedup-vs-seed is cumulative.
     """
     lines = [
         "| When (UTC) | backend | wall (s) | events/s | Δ events/s | speedup vs seed | note |",
@@ -110,6 +132,38 @@ def history_markdown(rows: List[Dict[str, Any]]) -> str:
                 eps=eps,
                 delta=delta,
                 speedup=row.get("speedup_vs_seed", 0.0),
+                note=row.get("note", "") or "—",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _net_history_table(rows: List[Dict[str, Any]]) -> str:
+    """The net-backend trajectory: throughput and latency of the best
+    open-loop/binary point plus its headline ratios (speedup over the
+    sequential/JSON baseline, JSON/binary frame-size ratio)."""
+    lines = [
+        "| When (UTC) | point | msgs/s | Δ msgs/s | p50 (ms) | p99 (ms) | vs seq | json/bin bytes | note |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    prev_mps: Optional[float] = None
+    for row in rows:
+        mps = float(row.get("msgs_per_sec", 0.0))
+        if prev_mps and prev_mps > 0:
+            delta = f"{(mps / prev_mps - 1.0) * 100.0:+.1f}%"
+        else:
+            delta = "—"
+        prev_mps = mps
+        lines.append(
+            "| {timestamp} | {point} | {mps:,.0f} | {delta} | {p50:.1f} | {p99:.1f} | {speedup:.2f}x | {ratio:.2f}x | {note} |".format(
+                timestamp=row.get("timestamp", "?"),
+                point=row.get("point", "?"),
+                mps=mps,
+                delta=delta,
+                p50=row.get("p50_ms", 0.0),
+                p99=row.get("p99_ms", 0.0),
+                speedup=row.get("speedup_vs_seq", 0.0),
+                ratio=row.get("codec_bytes_ratio", 0.0),
                 note=row.get("note", "") or "—",
             )
         )

@@ -8,6 +8,10 @@
   the CI ``net-smoke`` entry point; ``--kill`` adds mid-run crash
   injection (the survivors must elect a new leader and still agree
   with the failure-free reference).
+* ``open`` — launch an open-loop cluster (K concurrent clients with
+  outstanding windows and optional Poisson arrivals) and fail on any
+  violation of the statistical safety checks (``repro.verify`` over
+  the merged delivery logs).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .cluster import ClusterSpec, launch_cluster
-from .differential import diff_cluster_result
+from .differential import diff_cluster_result, verify_cluster_logs
 from .host import Topology, run_node
 
 
@@ -38,13 +42,30 @@ def _add_spec_args(parser: argparse.ArgumentParser) -> None:
         "--kill-after", type=int, default=4, metavar="N",
         help="kill once the driver has delivered N messages",
     )
+    parser.add_argument("--hb-interval-ms", type=float, default=50.0)
     parser.add_argument("--suspect-ms", type=float, default=500.0)
+    parser.add_argument(
+        "--grace-ms", type=float, default=None,
+        help="startup grace before suspicion (default: suspect-ms)",
+    )
+    parser.add_argument(
+        "--codec", choices=("json", "binary"), default="json",
+        help="wire encoding (receivers auto-detect per frame)",
+    )
+    parser.add_argument(
+        "--no-coalesce", action="store_true",
+        help="one socket write per frame (PR-9 behaviour)",
+    )
+    parser.add_argument(
+        "--batching-ms", type=float, default=0.0,
+        help="rmcast ack/bump batching window, 0 = off (paper §7.1)",
+    )
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument("--rundir", type=str, default=None)
 
 
-def _spec_from_args(args: argparse.Namespace) -> ClusterSpec:
-    return ClusterSpec(
+def _spec_from_args(args: argparse.Namespace, **overrides: object) -> ClusterSpec:
+    kwargs = dict(
         n_groups=args.groups,
         group_size=args.group_size,
         n_messages=args.messages,
@@ -52,9 +73,16 @@ def _spec_from_args(args: argparse.Namespace) -> ClusterSpec:
         extra_group_p=args.extra_group_p,
         kill_pid=args.kill,
         kill_after=args.kill_after,
+        hb_interval_ms=args.hb_interval_ms,
         suspect_ms=args.suspect_ms,
+        hb_grace_ms=args.grace_ms,
+        codec=args.codec,
+        coalesce=not args.no_coalesce,
+        batching_ms=args.batching_ms,
         run_timeout_s=args.timeout,
     )
+    kwargs.update(overrides)
+    return ClusterSpec(**kwargs)  # type: ignore[arg-type]
 
 
 def _rundir_from_args(args: argparse.Namespace) -> Path:
@@ -110,7 +138,44 @@ def cmd_diff(args: argparse.Namespace) -> int:
     )
     print(
         f"differential check OK: {len(survivors)} nodes agree with the sim "
-        f"reference on {n_msgs} messages{kill_note} ({result.wall_s:.1f}s)"
+        f"reference on {n_msgs} messages{kill_note} "
+        f"(codec={spec.codec}, {result.wall_s:.1f}s)"
+    )
+    return 0
+
+
+def cmd_open(args: argparse.Namespace) -> int:
+    """Open-loop concurrent cluster + statistical safety checks."""
+    spec = _spec_from_args(
+        args,
+        driver_mode="open",
+        clients=args.clients,
+        window=args.window,
+        rate_hz=args.rate,
+    )
+    rundir = _rundir_from_args(args)
+    result = launch_cluster(spec, rundir)
+    if not result.ok:
+        print(f"cluster run FAILED (rundir: {rundir})")
+        for pid in sorted(result.outcomes):
+            o = result.outcomes[pid]
+            print(f"  node {pid}: exit={o.exit_code} delivered={len(o.delivered)}")
+        return 1
+    violations = verify_cluster_logs(result)
+    if violations:
+        print(f"statistical checks FAILED (rundir: {rundir}):")
+        for v in violations:
+            print(f"  {v.to_dict()}")
+        return 1
+    total = sum(
+        o.summary.get("submitted", 0)
+        for o in result.outcomes.values()
+        if o.summary
+    )
+    print(
+        f"statistical checks OK: 0 violations over {total} messages from "
+        f"{spec.clients} clients (codec={spec.codec}, window={spec.window}, "
+        f"rate={args.rate or 'closed-loop'}, {result.wall_s:.1f}s)"
     )
     return 0
 
@@ -132,6 +197,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     dp = sub.add_parser("diff", help="cluster run + sim differential check")
     _add_spec_args(dp)
     dp.set_defaults(fn=cmd_diff)
+
+    op = sub.add_parser(
+        "open", help="open-loop concurrent cluster + statistical checks"
+    )
+    _add_spec_args(op)
+    op.add_argument("--clients", type=int, default=4)
+    op.add_argument("--window", type=int, default=4)
+    op.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client Poisson arrival rate in msgs/sec (0 = closed loop)",
+    )
+    op.set_defaults(fn=cmd_open)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

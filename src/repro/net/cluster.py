@@ -29,10 +29,9 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from .host import NetNode, NodeResult, Topology
-from .workload import expected_count
 
 MessageId = Tuple[int, int]
 
@@ -58,11 +57,34 @@ class ClusterSpec:
     kill_after: int = 4
     hb_interval_ms: float = 50.0
     suspect_ms: float = 500.0
+    hb_grace_ms: Optional[float] = None
     run_timeout_s: float = 60.0
+    #: Wire encoding: "json" or "binary" (host.Topology.codec).
+    codec: str = "json"
+    coalesce: bool = True
+    batching_ms: float = 0.0
+    #: "seq" (exact differential) or "open" (concurrent clients,
+    #: statistical verification).
+    driver_mode: str = "seq"
+    clients: int = 4
+    window: int = 4
+    rate_hz: float = 0.0
 
     def validate(self) -> None:
         if self.n_groups < 1 or self.group_size < 1:
             raise ValueError("need at least one group of at least one member")
+        if self.codec not in ("json", "binary"):
+            raise ValueError(f"unknown codec {self.codec!r}")
+        if self.driver_mode not in ("seq", "open"):
+            raise ValueError(f"unknown driver mode {self.driver_mode!r}")
+        if self.driver_mode == "open":
+            if self.clients < 1 or self.window < 1:
+                raise ValueError("open-loop driver needs clients >= 1, window >= 1")
+            if self.kill_pid is not None:
+                raise ValueError(
+                    "kill injection requires the sequential driver (the "
+                    "kill point is defined by the driver's delivery count)"
+                )
         if self.kill_pid is not None:
             if self.kill_pid == 0:
                 raise ValueError("cannot kill the driver (pid 0)")
@@ -106,7 +128,15 @@ def make_topology(spec: ClusterSpec, host: str = "127.0.0.1") -> Topology:
         extra_group_p=spec.extra_group_p,
         hb_interval_ms=spec.hb_interval_ms,
         suspect_ms=spec.suspect_ms,
+        hb_grace_ms=spec.hb_grace_ms,
         run_timeout_s=spec.run_timeout_s,
+        codec=spec.codec,
+        coalesce=spec.coalesce,
+        batching_ms=spec.batching_ms,
+        driver_mode=spec.driver_mode,
+        clients=spec.clients,
+        window=spec.window,
+        rate_hz=spec.rate_hz,
         # With a kill configured, the driver pauses after kill_after
         # deliveries until the coordinator writes RELEASE — so the kill
         # lands at a deterministic point in the workload instead of
@@ -134,6 +164,9 @@ class ClusterResult:
     topology: Topology
     outcomes: Dict[int, NodeOutcome]
     wall_s: float
+    #: Where the run's logs live (submit/delivery jsonl, summaries) —
+    #: the statistical verifier reads them from here.
+    rundir: Optional[Path] = None
 
     @property
     def survivors(self) -> List[int]:
@@ -142,13 +175,12 @@ class ClusterResult:
     @property
     def ok(self) -> bool:
         """Every surviving node exited 0 having delivered its quota."""
-        workload = self.topology.workload()
         config = self.topology.make_config()
         for pid in self.survivors:
             o = self.outcomes[pid]
             if o.exit_code != 0:
                 return False
-            if len(o.delivered) != expected_count(workload, config.group_of[pid]):
+            if len(o.delivered) != self.topology.expected_for(config.group_of[pid]):
                 return False
         return True
 
@@ -169,6 +201,35 @@ def read_delivery_log(path: Path) -> List[Tuple[MessageId, int]]:
             continue
         obj = json.loads(line)
         rows.append(((obj["mid"][0], obj["mid"][1]), obj["final"]))
+    return rows
+
+
+def read_delivery_log_full(path: Path) -> List[Tuple[MessageId, int, float]]:
+    """Like :func:`read_delivery_log`, keeping the local delivery time —
+    the (mid, final, t) triple shape ``repro.verify`` checks expect."""
+    rows: List[Tuple[MessageId, int, float]] = []
+    if not path.exists():
+        return rows
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        rows.append(((obj["mid"][0], obj["mid"][1]), obj["final"], obj["t"]))
+    return rows
+
+
+def read_submit_log(path: Path) -> List[Tuple[MessageId, FrozenSet[int], float]]:
+    """Parse one node's ``submit-<pid>.jsonl`` into (mid, dests, t)."""
+    rows: List[Tuple[MessageId, FrozenSet[int], float]] = []
+    if not path.exists():
+        return rows
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        rows.append(
+            ((obj["mid"][0], obj["mid"][1]), frozenset(obj["dest"]), obj["t"])
+        )
     return rows
 
 
@@ -298,6 +359,7 @@ def launch_cluster(
         topology=topology,
         outcomes=outcomes,
         wall_s=time.monotonic() - started,
+        rundir=rundir,
     )
 
 
@@ -396,4 +458,5 @@ async def run_cluster_inprocess(
         topology=topology,
         outcomes=outcomes,
         wall_s=asyncio.get_running_loop().time() - started,
+        rundir=rundir,
     )

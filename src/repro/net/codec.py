@@ -1,16 +1,30 @@
-"""Wire codec: length-prefixed JSON framing for the protocol messages.
+"""Wire codec: length-prefixed framing with a binary fast path.
 
 The simulator passes message *objects* between processes; the net
 backend must serialize them. Frames on a connection are::
 
-    [4-byte big-endian length][UTF-8 JSON body]
+    [4-byte big-endian length][body]
 
-JSON bodies are canonical (sorted keys, no whitespace) so a message's
-encoding is a deterministic function of its content — the round-trip
-tests compare canonical bytes instead of needing ``__eq__`` on the
-slotted wire classes.
+The body comes in two self-describing formats, distinguished by its
+first byte:
 
-Two layers:
+* **canonical JSON** — the body starts with ``{`` (canonical dicts:
+  sorted keys, no whitespace). This is the debugging/golden format: a
+  message's encoding is a deterministic function of its content, so the
+  round-trip tests compare canonical bytes instead of needing
+  ``__eq__`` on the slotted wire classes.
+* **binary** — the body starts with :data:`FRAME_BINARY` (``0x00``,
+  which canonical JSON can never produce), followed by a version byte
+  and a struct-packed payload. Same information, ~2-4x fewer bytes and
+  no JSON string building on the hot path. Every registered message
+  class has a binary encoder/decoder in :data:`BINARY_CODECS`; the
+  registry-exhaustiveness test fails when one is missing.
+
+Both formats round-trip through the same message registry, so a stream
+may mix them freely (the :class:`FrameDecoder` dispatches per frame) and
+``encode → decode → encode`` is bit-stable in either format.
+
+Layers:
 
 * **values** — :func:`encode_value` / :func:`decode_value` losslessly
   round-trip the payload vocabulary: JSON scalars, lists, and tagged
@@ -316,6 +330,490 @@ def canonical_message_bytes(msg: Any) -> bytes:
 
 
 # ----------------------------------------------------------------------
+# binary layer
+# ----------------------------------------------------------------------
+
+#: First body byte of a binary frame. Canonical JSON bodies always start
+#: with ``{`` (0x7B), so 0x00 is unambiguous.
+FRAME_BINARY = 0x00
+
+#: Binary wire-format version, bumped on any layout change. A decoder
+#: seeing an unknown version raises instead of guessing.
+BINARY_VERSION = 1
+
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+# Value tags (one byte each).
+_V_NONE = 0
+_V_TRUE = 1
+_V_FALSE = 2
+_V_INT = 3  # compact int (see _put_cint)
+_V_FLOAT = 5  # !d
+_V_STR = 6  # compact length + UTF-8
+_V_LIST = 7  # compact count + values
+_V_TUPLE = 8
+_V_SET = 9
+_V_FSET = 10
+_V_DICT = 11  # compact count + key/value pairs (canonically sorted)
+_V_EPOCH = 12  # compact number + compact leader
+_V_MC = 13  # mid (2 compact ints) + compact ndest + compact dests (sorted) + payload
+_V_MSG = 14  # nested registered message (tag byte + body)
+
+
+def _put_cint(out: bytearray, n: int) -> None:
+    """Compact signed int: a width byte (1/2/4/8) then that many
+    big-endian two's-complement bytes; width 0 escapes to a compact
+    length + arbitrary-size bytes. Protocol ints (pids, epochs, clock
+    ticks) almost always fit one or two bytes, which is where the wire
+    savings over JSON come from."""
+    if 0 <= n <= 127:
+        # The overwhelmingly common case (pids, small counts, group
+        # ids): append the byte directly, skipping to_bytes entirely.
+        out.append(1)
+        out.append(n)
+    elif -128 <= n < 0:
+        out.append(1)
+        out.append(n + 256)
+    elif -32768 <= n <= 32767:
+        out.append(2)
+        out += n.to_bytes(2, "big", signed=True)
+    elif -(2**31) <= n < 2**31:
+        out.append(4)
+        out += n.to_bytes(4, "big", signed=True)
+    elif -(2**63) <= n < 2**63:
+        out.append(8)
+        out += n.to_bytes(8, "big", signed=True)
+    else:
+        raw = n.to_bytes((n.bit_length() + 8) // 8, "big", signed=True)
+        out.append(0)
+        _put_cint(out, len(raw))
+        out += raw
+
+
+def _get_cint(buf: bytes, off: int) -> Tuple[int, int]:
+    width = buf[off]
+    if width == 1:
+        # Mirror of the one-byte fast path in _put_cint.
+        b = buf[off + 1]
+        return (b - 256 if b >= 128 else b), off + 2
+    off += 1
+    if width == 0:
+        width, off = _get_cint(buf, off)
+    return int.from_bytes(buf[off : off + width], "big", signed=True), off + width
+
+
+def _put_str(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    out.append(_V_STR)
+    _put_cint(out, len(raw))
+    out += raw
+
+
+#: Memoized canonical sort keys for container elements. Protocol
+#: payloads reuse a handful of short string keys ("c", "i", ...) and
+#: small ints, so the canonical-JSON key computation — a json.dumps
+#: per element, hot on the ack path — is short-circuited for ints
+#: (json.dumps(int) is str(int)) and cached for strs. Only strs enter
+#: the cache: a value-keyed dict would alias True/1/1.0 (equal, same
+#: hash, different canonical forms). Bounded so adversarial payloads
+#: cannot grow it without limit.
+_SORT_KEY_CACHE: Dict[str, str] = {}
+_SORT_KEY_CACHE_MAX = 4096
+
+
+def _container_sort_key(v: Any) -> str:
+    if type(v) is int:
+        return str(v)
+    if type(v) is str:
+        cached = _SORT_KEY_CACHE.get(v)
+        if cached is None:
+            cached = _canonical(encode_value(v))
+            if len(_SORT_KEY_CACHE) < _SORT_KEY_CACHE_MAX:
+                _SORT_KEY_CACHE[v] = cached
+        return cached
+    return _canonical(encode_value(v))
+
+
+def _pair_sort_key(kv: Tuple[Any, Any]) -> str:
+    return _container_sort_key(kv[0])
+
+
+def encode_value_binary(value: Any, out: bytearray) -> None:
+    """Append the binary encoding of ``value`` to ``out``.
+
+    Covers exactly the vocabulary of :func:`encode_value`; unordered
+    containers are sorted by the canonical JSON of their (encoded)
+    elements, so the binary encoding is the same deterministic function
+    of content as the JSON one (encode → decode → encode is
+    bit-stable).
+    """
+    if value is None:
+        out.append(_V_NONE)
+        return
+    cls = value.__class__
+    if cls is bool:
+        out.append(_V_TRUE if value else _V_FALSE)
+        return
+    if cls is int:
+        out.append(_V_INT)
+        _put_cint(out, value)
+        return
+    if cls is str:
+        _put_str(out, value)
+        return
+    if cls is float:
+        out.append(_V_FLOAT)
+        out += _F64.pack(value)
+        return
+    if cls is list:
+        out.append(_V_LIST)
+        _put_cint(out, len(value))
+        for v in value:
+            encode_value_binary(v, out)
+        return
+    if cls is Epoch:
+        out.append(_V_EPOCH)
+        _put_cint(out, value.number)
+        _put_cint(out, value.leader)
+        return
+    if cls is Multicast:
+        out.append(_V_MC)
+        _put_cint(out, value.mid[0])
+        _put_cint(out, value.mid[1])
+        dest = sorted(value.dest)
+        _put_cint(out, len(dest))
+        for gid in dest:
+            _put_cint(out, gid)
+        encode_value_binary(value.payload, out)
+        return
+    if isinstance(value, tuple):
+        out.append(_V_TUPLE)
+        _put_cint(out, len(value))
+        for v in value:
+            encode_value_binary(v, out)
+        return
+    if isinstance(value, (set, frozenset)):
+        out.append(_V_FSET if isinstance(value, frozenset) else _V_SET)
+        items = sorted(value, key=_container_sort_key)
+        _put_cint(out, len(items))
+        for v in items:
+            encode_value_binary(v, out)
+        return
+    if isinstance(value, dict):
+        out.append(_V_DICT)
+        pairs = sorted(value.items(), key=_pair_sort_key)
+        _put_cint(out, len(pairs))
+        for k, v in pairs:
+            encode_value_binary(k, out)
+            encode_value_binary(v, out)
+        return
+    if cls in BINARY_CODECS:
+        out.append(_V_MSG)
+        _encode_message_binary_into(value, out)
+        return
+    raise CodecError(f"cannot binary-encode {type(value).__name__}: {value!r}")
+
+
+def decode_value_binary(buf: bytes, off: int) -> Tuple[Any, int]:
+    """Inverse of :func:`encode_value_binary`; returns (value, new off)."""
+    tag = buf[off]
+    off += 1
+    if tag == _V_NONE:
+        return None, off
+    if tag == _V_TRUE:
+        return True, off
+    if tag == _V_FALSE:
+        return False, off
+    if tag == _V_INT:
+        return _get_cint(buf, off)
+    if tag == _V_FLOAT:
+        return _F64.unpack_from(buf, off)[0], off + 8
+    if tag == _V_STR:
+        n, off = _get_cint(buf, off)
+        return bytes(buf[off : off + n]).decode("utf-8"), off + n
+    if tag in (_V_LIST, _V_TUPLE, _V_SET, _V_FSET):
+        n, off = _get_cint(buf, off)
+        items = []
+        for _ in range(n):
+            v, off = decode_value_binary(buf, off)
+            items.append(v)
+        if tag == _V_LIST:
+            return items, off
+        if tag == _V_TUPLE:
+            return tuple(items), off
+        if tag == _V_SET:
+            return set(items), off
+        return frozenset(items), off
+    if tag == _V_DICT:
+        n, off = _get_cint(buf, off)
+        d = {}
+        for _ in range(n):
+            k, off = decode_value_binary(buf, off)
+            v, off = decode_value_binary(buf, off)
+            d[k] = v
+        return d, off
+    if tag == _V_EPOCH:
+        number, off = _get_cint(buf, off)
+        leader, off = _get_cint(buf, off)
+        return Epoch(number, leader), off
+    if tag == _V_MC:
+        origin, off = _get_cint(buf, off)
+        seq, off = _get_cint(buf, off)
+        n, off = _get_cint(buf, off)
+        dest = []
+        for _ in range(n):
+            gid, off = _get_cint(buf, off)
+            dest.append(gid)
+        payload, off = decode_value_binary(buf, off)
+        return Multicast((origin, seq), frozenset(dest), payload), off
+    if tag == _V_MSG:
+        return _decode_message_binary_from(buf, off)
+    raise CodecError(f"unknown binary value tag {tag}")
+
+
+def _put_epoch(out: bytearray, epoch: Epoch) -> None:
+    _put_cint(out, epoch.number)
+    _put_cint(out, epoch.leader)
+
+
+def _get_epoch(buf: bytes, off: int) -> Tuple[Epoch, int]:
+    number, off = _get_cint(buf, off)
+    leader, off = _get_cint(buf, off)
+    return Epoch(number, leader), off
+
+
+def _put_dp(out: bytearray, dp: Any) -> None:
+    if dp is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _put_epoch(out, dp[0])
+        _put_cint(out, dp[1])
+
+
+def _get_dp(buf: bytes, off: int) -> Tuple[Any, int]:
+    if buf[off] == 0:
+        return None, off + 1
+    epoch, off = _get_epoch(buf, off + 1)
+    n, off = _get_cint(buf, off)
+    return (epoch, n), off
+
+
+def _put_t_seq(out: bytearray, t_seq: Any) -> None:
+    _put_cint(out, len(t_seq))
+    for epoch, multicast, ts in t_seq:
+        _put_epoch(out, epoch)
+        encode_value_binary(multicast, out)
+        _put_cint(out, ts)
+
+
+def _get_t_seq(buf: bytes, off: int) -> Tuple[List[Any], int]:
+    n, off = _get_cint(buf, off)
+    rows = []
+    for _ in range(n):
+        epoch, off = _get_epoch(buf, off)
+        multicast, off = decode_value_binary(buf, off)
+        ts, off = _get_cint(buf, off)
+        rows.append((epoch, multicast, ts))
+    return rows, off
+
+
+def _benc_start(m: Start, out: bytearray) -> None:
+    encode_value_binary(m.multicast, out)
+
+
+def _bdec_start(buf: bytes, off: int) -> Tuple[Start, int]:
+    mc, off = decode_value_binary(buf, off)
+    return Start(mc), off
+
+
+def _benc_ack(m: Ack, out: bytearray) -> None:
+    encode_value_binary(m.multicast, out)
+    _put_epoch(out, m.epoch)
+    _put_cint(out, m.group)
+    _put_cint(out, m.ts)
+    _put_cint(out, m.sender)
+    _put_dp(out, m.dp)
+
+
+def _bdec_ack(buf: bytes, off: int) -> Tuple[Ack, int]:
+    mc, off = decode_value_binary(buf, off)
+    epoch, off = _get_epoch(buf, off)
+    group, off = _get_cint(buf, off)
+    ts, off = _get_cint(buf, off)
+    sender, off = _get_cint(buf, off)
+    dp, off = _get_dp(buf, off)
+    return Ack(mc, group, epoch, ts, sender, dp), off
+
+
+def _benc_bump(m: Bump, out: bytearray) -> None:
+    _put_epoch(out, m.epoch)
+    _put_cint(out, m.ts)
+    _put_cint(out, m.sender)
+    _put_dp(out, m.dp)
+
+
+def _bdec_bump(buf: bytes, off: int) -> Tuple[Bump, int]:
+    epoch, off = _get_epoch(buf, off)
+    ts, off = _get_cint(buf, off)
+    sender, off = _get_cint(buf, off)
+    dp, off = _get_dp(buf, off)
+    return Bump(epoch, ts, sender, dp), off
+
+
+def _benc_new_epoch(m: NewEpoch, out: bytearray) -> None:
+    _put_epoch(out, m.epoch)
+
+
+def _bdec_new_epoch(buf: bytes, off: int) -> Tuple[NewEpoch, int]:
+    epoch, off = _get_epoch(buf, off)
+    return NewEpoch(epoch), off
+
+
+def _benc_promise(m: EpochPromise, out: bytearray) -> None:
+    _put_epoch(out, m.epoch)
+    _put_cint(out, m.sender)
+    _put_cint(out, m.clock)
+    _put_epoch(out, m.e_cur)
+    _put_t_seq(out, m.t_seq)
+    _put_cint(out, m.t_base)
+
+
+def _bdec_promise(buf: bytes, off: int) -> Tuple[EpochPromise, int]:
+    epoch, off = _get_epoch(buf, off)
+    sender, off = _get_cint(buf, off)
+    clock, off = _get_cint(buf, off)
+    e_cur, off = _get_epoch(buf, off)
+    t_seq, off = _get_t_seq(buf, off)
+    t_base, off = _get_cint(buf, off)
+    return EpochPromise(epoch, sender, clock, e_cur, t_seq, t_base), off
+
+
+def _benc_new_state(m: NewState, out: bytearray) -> None:
+    _put_epoch(out, m.epoch)
+    _put_t_seq(out, m.t_seq)
+    _put_cint(out, m.ts)
+    _put_cint(out, m.t_base)
+
+
+def _bdec_new_state(buf: bytes, off: int) -> Tuple[NewState, int]:
+    epoch, off = _get_epoch(buf, off)
+    t_seq, off = _get_t_seq(buf, off)
+    ts, off = _get_cint(buf, off)
+    t_base, off = _get_cint(buf, off)
+    return NewState(epoch, t_seq, ts, t_base), off
+
+
+def _benc_accept(m: AcceptEpoch, out: bytearray) -> None:
+    _put_epoch(out, m.epoch)
+    _put_cint(out, m.sender)
+
+
+def _bdec_accept(buf: bytes, off: int) -> Tuple[AcceptEpoch, int]:
+    epoch, off = _get_epoch(buf, off)
+    sender, off = _get_cint(buf, off)
+    return AcceptEpoch(epoch, sender), off
+
+
+def _benc_envelope(m: Envelope, out: bytearray) -> None:
+    _put_cint(out, m.origin)
+    _put_cint(out, m.seq)
+    _put_cint(out, len(m.dests))
+    for dst in m.dests:
+        _put_cint(out, dst)
+    out.append(1 if m.relayed else 0)
+    encode_value_binary(m.payload, out)
+
+
+def _bdec_envelope(buf: bytes, off: int) -> Tuple[Envelope, int]:
+    origin, off = _get_cint(buf, off)
+    seq, off = _get_cint(buf, off)
+    n, off = _get_cint(buf, off)
+    dests = []
+    for _ in range(n):
+        dst, off = _get_cint(buf, off)
+        dests.append(dst)
+    relayed = buf[off] != 0
+    off += 1
+    payload, off = decode_value_binary(buf, off)
+    return Envelope(origin, seq, payload, tuple(dests), relayed), off
+
+
+def _benc_batch(m: Batch, out: bytearray) -> None:
+    _put_cint(out, len(m.envelopes))
+    for env in m.envelopes:
+        _benc_envelope(env, out)
+
+
+def _bdec_batch(buf: bytes, off: int) -> Tuple[Batch, int]:
+    n, off = _get_cint(buf, off)
+    envs = []
+    for _ in range(n):
+        env, off = _bdec_envelope(buf, off)
+        envs.append(env)
+    return Batch(tuple(envs)), off
+
+
+#: class -> (one-byte wire tag, binary encode, binary decode). Exactly
+#: the classes of :data:`CODECS` — the registry test pins the two key
+#: sets equal, so a new wire message cannot ship with only one format.
+BINARY_CODECS: Dict[
+    Type[Any],
+    Tuple[int, Callable[[Any, bytearray], None], Callable[[bytes, int], Tuple[Any, int]]],
+] = {
+    Start: (1, _benc_start, _bdec_start),
+    Ack: (2, _benc_ack, _bdec_ack),
+    Bump: (3, _benc_bump, _bdec_bump),
+    NewEpoch: (4, _benc_new_epoch, _bdec_new_epoch),
+    EpochPromise: (5, _benc_promise, _bdec_promise),
+    NewState: (6, _benc_new_state, _bdec_new_state),
+    AcceptEpoch: (7, _benc_accept, _bdec_accept),
+    Envelope: (8, _benc_envelope, _bdec_envelope),
+    Batch: (9, _benc_batch, _bdec_batch),
+}
+
+_BINARY_DECODERS: Dict[int, Callable[[bytes, int], Tuple[Any, int]]] = {
+    tag: dec for tag, _, dec in BINARY_CODECS.values()
+}
+
+
+def _encode_message_binary_into(msg: Any, out: bytearray) -> None:
+    entry = BINARY_CODECS.get(msg.__class__)
+    if entry is None:
+        raise CodecError(
+            f"no binary codec registered for message class "
+            f"{msg.__class__.__module__}.{msg.__class__.__name__}"
+        )
+    out.append(entry[0])
+    entry[1](msg, out)
+
+
+def _decode_message_binary_from(buf: bytes, off: int) -> Tuple[Any, int]:
+    dec = _BINARY_DECODERS.get(buf[off])
+    if dec is None:
+        raise CodecError(f"no binary codec registered for wire tag {buf[off]}")
+    return dec(buf, off + 1)
+
+
+def encode_message_binary(msg: Any) -> bytes:
+    """Binary encoding of one registered wire message (tag + body)."""
+    out = bytearray()
+    _encode_message_binary_into(msg, out)
+    return bytes(out)
+
+
+def decode_message_binary(data: bytes) -> Any:
+    """Inverse of :func:`encode_message_binary`."""
+    msg, off = _decode_message_binary_from(data, 0)
+    if off != len(data):
+        raise CodecError(
+            f"trailing garbage after binary message ({len(data) - off} bytes)"
+        )
+    return msg
+
+
+# ----------------------------------------------------------------------
 # frame layer
 # ----------------------------------------------------------------------
 
@@ -328,11 +826,74 @@ def encode_frame(obj: Dict[str, Any]) -> bytes:
     return LEN_STRUCT.pack(len(body)) + body
 
 
+# Binary frame kinds (byte after the version byte). Hello frames are
+# always JSON — peer identification must work before the receiver knows
+# anything about the dialer's codec setting.
+_BF_HB = 2
+_BF_MSG = 3  # u32 src pid + binary message
+
+_BINARY_HEADER = bytes((FRAME_BINARY, BINARY_VERSION))
+
+
+def encode_msg_frame(src: int, msg: Any, binary: bool = False) -> bytes:
+    """One protocol-message frame in the requested body format.
+
+    The JSON form is exactly the PR-9 frame ``{"t": "m", "src": ...,
+    "m": encode_message(msg)}``; the binary form packs the same
+    information as ``0x00 | version | MSG | u32 src | message``.
+    """
+    if not binary:
+        return encode_frame({"t": "m", "src": src, "m": encode_message(msg)})
+    out = bytearray(LEN_STRUCT.size)
+    out += _BINARY_HEADER
+    out.append(_BF_MSG)
+    out += _U32.pack(src)
+    _encode_message_binary_into(msg, out)
+    length = len(out) - LEN_STRUCT.size
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    LEN_STRUCT.pack_into(out, 0, length)
+    return bytes(out)
+
+
+def encode_hb_frame(pid: int, binary: bool = False) -> bytes:
+    """One heartbeat frame (``{"t": "hb", "pid": ...}`` equivalent)."""
+    if not binary:
+        return encode_frame({"t": "hb", "pid": pid})
+    body = _BINARY_HEADER + bytes((_BF_HB,)) + _U32.pack(pid)
+    return LEN_STRUCT.pack(len(body)) + body
+
+
+def _decode_binary_body(body: bytes) -> Dict[str, Any]:
+    """Parse a binary frame body into the same dict shape JSON frames
+    produce, with the already-decoded message under ``"msg"`` (so the
+    host skips the tagged-dict decode entirely)."""
+    if len(body) < 3:
+        raise CodecError(f"binary frame body too short ({len(body)} bytes)")
+    if body[1] != BINARY_VERSION:
+        raise CodecError(f"unsupported binary frame version {body[1]}")
+    kind = body[2]
+    if kind == _BF_MSG:
+        (src,) = _U32.unpack_from(body, 3)
+        msg, off = _decode_message_binary_from(body, 7)
+        if off != len(body):
+            raise CodecError(
+                f"trailing garbage after binary frame ({len(body) - off} bytes)"
+            )
+        return {"t": "m", "src": src, "msg": msg}
+    if kind == _BF_HB:
+        (pid,) = _U32.unpack_from(body, 3)
+        return {"t": "hb", "pid": pid}
+    raise CodecError(f"unknown binary frame kind {kind}")
+
+
 class FrameDecoder:
     """Incremental frame reassembly over an arbitrary byte stream.
 
     ``feed`` accepts any chunking (TCP does not respect frame
-    boundaries) and returns the complete frames it finished.
+    boundaries) and returns the complete frames it finished. Each frame
+    body is dispatched on its first byte — :data:`FRAME_BINARY` or
+    canonical JSON — so a single connection may mix formats freely.
     """
 
     def __init__(self) -> None:
@@ -353,6 +914,9 @@ class FrameDecoder:
                 break
             body = bytes(buf[LEN_STRUCT.size:end])
             del buf[:end]
+            if body and body[0] == FRAME_BINARY:
+                frames.append(_decode_binary_body(body))
+                continue
             obj = json.loads(body.decode("utf-8"))
             if not isinstance(obj, dict):
                 raise CodecError(f"frame body is not an object: {obj!r}")

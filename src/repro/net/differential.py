@@ -16,11 +16,22 @@ Agreement is therefore an exact check, not a statistical one:
 
 A violation means one backend reordered or dropped an a-delivery the
 other performed — a safety bug in the transport port, not noise.
+
+The **open-loop** driver (``driver_mode="open"``) gives up the exact
+check on purpose: K concurrent clients make the interleaving
+timing-dependent, so no sim run defines *the* reference order. What
+must still hold are the protocol's safety properties themselves —
+integrity, uniform agreement, acyclic order, timestamp order, prefix
+order — which :mod:`repro.verify` already checks over per-node
+delivery logs. :func:`verify_cluster_logs` reconstructs the ground
+truth (which mids exist, who they were addressed to) from the
+``submit-*.jsonl`` logs every node writes, merges the per-node
+``delivery-*.jsonl`` logs, and runs the statistical checks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.config import GroupConfig
 from ..core.process import PrimCastProcess
@@ -29,7 +40,8 @@ from ..sim.events import Scheduler
 from ..sim.latency import ConstantLatency
 from ..sim.network import Network
 from ..sim.rng import child_rng
-from .cluster import ClusterResult
+from ..verify.properties import Violation, collect_violations
+from .cluster import ClusterResult, read_delivery_log_full, read_submit_log
 from .host import Topology
 
 MessageId = Tuple[int, int]
@@ -147,3 +159,43 @@ def diff_cluster_result(result: ClusterResult) -> List[str]:
     )
     config = result.topology.make_config()
     return compare_deliveries(reference, observed, config, killed=killed)
+
+
+# ----------------------------------------------------------------------
+# statistical verification (open-loop driver)
+# ----------------------------------------------------------------------
+
+
+def verify_cluster_logs(result: ClusterResult) -> List[Violation]:
+    """Run the statistical safety checks over a cluster's on-disk logs.
+
+    Ground truth comes from the run itself, not the seed: the merged
+    ``submit-*.jsonl`` logs say which mids were a-multicast and to
+    which groups. Delivery logs are read back *with* local delivery
+    times — the (mid, final, t) triple shape ``repro.verify``'s
+    checkers consume. Killed nodes stay in the logs (their prefix is
+    checked) but drop out of ``correct_pids``, exactly the paper's
+    uniform-agreement obligation.
+    """
+    rundir = result.rundir
+    if rundir is None:
+        raise ValueError("cluster result has no rundir to verify from")
+    config = result.topology.make_config()
+    pids = sorted(config.group_of)
+
+    multicast_mids: Set[Tuple[int, int]] = set()
+    dest_pids_of: Dict[Tuple[int, int], Set[int]] = {}
+    for pid in pids:
+        for mid, dests, _t in read_submit_log(rundir / f"submit-{pid}.jsonl"):
+            multicast_mids.add(mid)
+            dest_pids_of[mid] = set(config.dest_pids(dests))
+
+    logs = {
+        pid: read_delivery_log_full(rundir / f"delivery-{pid}.jsonl")
+        for pid in pids
+    }
+    killed = {pid for pid, o in result.outcomes.items() if o.killed}
+    correct_pids = {pid for pid in pids if pid not in killed}
+    return collect_violations(
+        logs, multicast_mids, dest_pids_of, correct_pids, prefix=True
+    )

@@ -40,11 +40,17 @@ from collections import Counter
 from ..core.config import GroupConfig
 from ..core.process import PrimCastProcess
 from ..sim.costs import CostModel
-from .codec import decode_message, encode_message
+from ..sim.rng import child_rng
+from .codec import decode_message, encode_hb_frame, encode_msg_frame
 from .election import DEFAULT_HB_INTERVAL_MS, DEFAULT_SUSPECT_MS, HeartbeatOmega
 from .runtime import Runtime, SchedulerAPI, TransportAPI
 from .transport import Transport
-from .workload import expected_count, make_workload
+from .workload import (
+    expected_count,
+    make_client_plans,
+    make_workload,
+    plans_expected_count,
+)
 
 #: Node exit codes (the launcher interprets these).
 EXIT_OK = 0
@@ -159,10 +165,13 @@ class TransportFacade:
     destination and queued on that peer's TCP connection.
     """
 
-    def __init__(self, scheduler: NetScheduler) -> None:
+    def __init__(self, scheduler: NetScheduler, binary: bool = False) -> None:
         self._scheduler = scheduler
         self._transport: Optional[Transport] = None
         self.processes: Dict[int, Any] = {}
+        #: Encode wire messages in the binary fast-path format instead
+        #: of canonical JSON (the receiver auto-detects per frame).
+        self.binary = binary
         #: Wire messages by kind (mirrors Network.counts_by_kind).
         self.counts_by_kind: Counter[str] = Counter()
         self.messages_sent = 0
@@ -186,7 +195,9 @@ class TransportFacade:
             return
         if self._transport is None:
             raise RuntimeError("transport not bound yet (node still starting)")
-        self._transport.send_frame(dst, {"t": "m", "src": src, "m": encode_message(msg)})
+        self._transport.send_frame_bytes(
+            dst, encode_msg_frame(src, msg, binary=self.binary)
+        )
 
 
 class AsyncioRuntime(Runtime):
@@ -194,11 +205,15 @@ class AsyncioRuntime(Runtime):
 
     backend = "net"
 
-    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        binary: bool = False,
+    ) -> None:
         super().__init__()
         self._loop = loop if loop is not None else asyncio.get_running_loop()
         self._scheduler = NetScheduler(self._loop)
-        self._transport_facade = TransportFacade(self._scheduler)
+        self._transport_facade = TransportFacade(self._scheduler, binary=binary)
 
     @property
     def scheduler(self) -> SchedulerAPI:
@@ -247,6 +262,9 @@ class Topology:
     extra_group_p: float = 0.5
     hb_interval_ms: float = DEFAULT_HB_INTERVAL_MS
     suspect_ms: float = DEFAULT_SUSPECT_MS
+    #: Startup grace before a silent peer may be suspected (None: the
+    #: oracle defaults it to ``suspect_ms``).
+    hb_grace_ms: Optional[float] = None
     run_timeout_s: float = 60.0
     linger_ms: float = 250.0
     #: Fault-injection sync point: the driver pauses its submission
@@ -255,6 +273,26 @@ class Topology:
     #: coordinator writes it right after performing the kill). ``None``
     #: means never pause.
     hold_after: Optional[int] = None
+    #: Wire encoding: ``"json"`` (canonical, PR-9 format) or
+    #: ``"binary"`` (struct-packed fast path). Received frames are
+    #: auto-detected, so mixed-codec clusters interoperate.
+    codec: str = "json"
+    #: Stage outgoing frames per peer and write once per event-loop
+    #: drain (transport.py); off = one write per frame.
+    coalesce: bool = True
+    #: rmcast ack/bump batching window (§7.1) in ms; 0 disables.
+    batching_ms: float = 0.0
+    #: Workload driver: ``"seq"`` (one driver node, one outstanding,
+    #: exact differential) or ``"open"`` (concurrent clients on every
+    #: node, statistical verification).
+    driver_mode: str = "seq"
+    #: Open-loop client count (spread round-robin over the nodes).
+    clients: int = 4
+    #: Per-client outstanding-message window.
+    window: int = 4
+    #: Per-client Poisson arrival rate (msgs/sec); 0 = closed loop
+    #: (clients keep their window full).
+    rate_hz: float = 0.0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -266,13 +304,22 @@ class Topology:
             "extra_group_p": self.extra_group_p,
             "hb_interval_ms": self.hb_interval_ms,
             "suspect_ms": self.suspect_ms,
+            "hb_grace_ms": self.hb_grace_ms,
             "run_timeout_s": self.run_timeout_s,
             "linger_ms": self.linger_ms,
             "hold_after": self.hold_after,
+            "codec": self.codec,
+            "coalesce": self.coalesce,
+            "batching_ms": self.batching_ms,
+            "driver_mode": self.driver_mode,
+            "clients": self.clients,
+            "window": self.window,
+            "rate_hz": self.rate_hz,
         }
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "Topology":
+        # .get() with the field defaults keeps PR-9 topology files valid.
         return cls(
             groups=[list(g) for g in data["groups"]],
             addresses={
@@ -285,9 +332,17 @@ class Topology:
             extra_group_p=data["extra_group_p"],
             hb_interval_ms=data["hb_interval_ms"],
             suspect_ms=data["suspect_ms"],
+            hb_grace_ms=data.get("hb_grace_ms"),
             run_timeout_s=data["run_timeout_s"],
             linger_ms=data["linger_ms"],
             hold_after=data.get("hold_after"),
+            codec=data.get("codec", "json"),
+            coalesce=data.get("coalesce", True),
+            batching_ms=data.get("batching_ms", 0.0),
+            driver_mode=data.get("driver_mode", "seq"),
+            clients=data.get("clients", 4),
+            window=data.get("window", 4),
+            rate_hz=data.get("rate_hz", 0.0),
         )
 
     def make_config(self) -> GroupConfig:
@@ -297,6 +352,32 @@ class Topology:
         return make_workload(
             len(self.groups), self.n_messages, self.seed, self.extra_group_p
         )
+
+    def client_plans(self) -> List[List[FrozenSet[int]]]:
+        # Client cid runs on pids[cid % n] (see _start_clients); its
+        # home group is pinned into every destination set so the
+        # submitter observes its own deliveries — the window-freeing
+        # signal of the open-loop driver.
+        config = self.make_config()
+        pids = sorted(config.group_of)
+        home_gids = [
+            config.group_of[pids[cid % len(pids)]] for cid in range(self.clients)
+        ]
+        return make_client_plans(
+            len(self.groups),
+            self.n_messages,
+            self.clients,
+            self.seed,
+            self.extra_group_p,
+            home_gids=home_gids,
+        )
+
+    def expected_for(self, gid: int) -> int:
+        """Messages a member of ``gid`` must deliver under this
+        topology's driver mode (a pure function of the config)."""
+        if self.driver_mode == "open":
+            return plans_expected_count(self.client_plans(), gid)
+        return expected_count(self.workload(), gid)
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +400,20 @@ class NodeResult:
     epochs_seen: int = 0
 
 
+class _OpenClient:
+    """One open-loop client's live state (hosted on one node)."""
+
+    __slots__ = ("cid", "plan", "next", "outstanding", "backlog", "rng")
+
+    def __init__(self, cid: int, plan: List[FrozenSet[int]], rng: Any) -> None:
+        self.cid = cid
+        self.plan = plan
+        self.next = 0  # next plan index to submit
+        self.outstanding = 0  # submitted, not yet self-delivered
+        self.backlog = 0  # arrived (Poisson) but window-blocked
+        self.rng = rng
+
+
 class NetNode:
     """One protocol process on one event loop, with its substrate.
 
@@ -328,13 +423,22 @@ class NetNode:
 
     1. bind server, write ``ready-<pid>``;
     2. wait for ``GO``, dial all peers, start heartbeats;
-    3. run the seeded workload (the driver node submits sequentially,
-       one outstanding, gated on its own delivery);
+    3. run the seeded workload — either the sequential driver (one
+       driver node, one outstanding, gated on its own delivery) or the
+       open-loop driver (``driver_mode="open"``: this node's share of
+       the concurrent clients, each with an outstanding window and
+       Poisson arrivals);
     4. on delivering everything addressed to this group, write
        ``done-<pid>`` and keep serving (acks + heartbeats for
        stragglers);
     5. on ``STOP``, flush queues, linger ``linger_ms``, close, write
        ``summary-<pid>.json`` and exit 0 (3 on watchdog timeout).
+
+    Every submission is appended to ``submit-<pid>.jsonl`` (mid +
+    destination set + time): under the open-loop driver the
+    interleaving of mids is timing-dependent, so the statistical
+    verifier reconstructs the ground-truth message set from these logs
+    instead of deriving it from the seed.
     """
 
     def __init__(self, topology: Topology, pid: int, rundir: Path) -> None:
@@ -343,23 +447,29 @@ class NetNode:
         self.rundir = Path(rundir)
         self.config = topology.make_config()
         self.gid = self.config.group_of[pid]
-        self.workload = topology.workload()
-        self.expected = expected_count(self.workload, self.gid)
-        self.is_driver = pid == topology.driver_pid
+        self.open_mode = topology.driver_mode == "open"
+        self.workload = [] if self.open_mode else topology.workload()
+        self.expected = topology.expected_for(self.gid)
+        self.is_driver = pid == topology.driver_pid and not self.open_mode
         self.runtime: Optional[AsyncioRuntime] = None
         self.proc: Optional[PrimCastProcess] = None
         self.omega: Optional[HeartbeatOmega] = None
         self._transport: Optional[Transport] = None
         self._delivered = 0
         self._next_submit = 0
+        self._submitted = 0
         self._first_submit_ms: Optional[float] = None
         self._last_deliver_ms: Optional[float] = None
         self._submit_times: Dict[int, float] = {}
+        self._clients: List[_OpenClient] = []
+        #: open mode: mid -> (client, submit time) for window release.
+        self._inflight: Dict[Tuple[int, int], Tuple[_OpenClient, float]] = {}
         self._latencies: List[float] = []
         self._epochs_seen = 0
         self._hold_task: Optional["asyncio.Task[None]"] = None
         self._done = asyncio.Event()
         self._log_fh: Optional[Any] = None
+        self._submit_fh: Optional[Any] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -371,12 +481,15 @@ class NetNode:
         except asyncio.TimeoutError:
             return self._result(EXIT_TIMEOUT)
         finally:
-            if self._log_fh is not None:
-                self._log_fh.close()
-                self._log_fh = None
+            for fh_attr in ("_log_fh", "_submit_fh"):
+                fh = getattr(self, fh_attr)
+                if fh is not None:
+                    fh.close()
+                    setattr(self, fh_attr, None)
 
     async def _run(self) -> NodeResult:
-        runtime = self.runtime = AsyncioRuntime()
+        topo = self.topology
+        runtime = self.runtime = AsyncioRuntime(binary=topo.codec == "binary")
         sched = runtime.net_scheduler
         facade = runtime.transport_facade
         proc = self.proc = PrimCastProcess(
@@ -385,15 +498,18 @@ class NetNode:
             sched,
             facade,
             CostModel(),  # zero-cost CPU: every handler is due immediately
+            batching_ms=topo.batching_ms,  # §7.1 ack/bump coalescing
         )
         transport = self._transport = Transport(
             self.pid,
-            self.topology.addresses,
+            topo.addresses,
             on_frame=self._on_frame,
             probe=runtime.probe,
+            coalesce=topo.coalesce,
         )
         facade.bind(transport)
         self._log_fh = open(self.rundir / f"delivery-{self.pid}.jsonl", "w")
+        self._submit_fh = open(self.rundir / f"submit-{self.pid}.jsonl", "w")
         proc.add_deliver_hook(self._on_deliver)
         proc.add_probe_hook(self._on_probe)
 
@@ -408,14 +524,17 @@ class NetNode:
             self.pid,
             sched,
             self._send_heartbeats,
-            hb_interval_ms=self.topology.hb_interval_ms,
-            suspect_ms=self.topology.suspect_ms,
+            hb_interval_ms=topo.hb_interval_ms,
+            suspect_ms=topo.suspect_ms,
+            grace_ms=topo.hb_grace_ms,
         )
         proc.omega = omega
         omega.subscribe(proc._on_omega_output)
         omega.start()
 
-        if self.is_driver:
+        if self.open_mode:
+            self._start_clients()
+        elif self.is_driver:
             proc.post_job(self._submit_next)
         if self.expected == 0:
             self._done.set()
@@ -440,7 +559,12 @@ class NetNode:
         t = frame.get("t")
         if t == "m":
             assert self.proc is not None and self.runtime is not None
-            msg = decode_message(frame["m"])
+            # Binary frames arrive with the message already decoded by
+            # the FrameDecoder ("msg"); JSON frames carry the tagged
+            # dict form ("m").
+            msg = frame.get("msg")
+            if msg is None:
+                msg = decode_message(frame["m"])
             if self.omega is not None:
                 self.omega.heard_from(src)
             self.proc.enqueue_message(int(frame.get("src", src)), msg)
@@ -453,12 +577,29 @@ class NetNode:
         transport = self._transport
         if transport is None:
             return
-        frame = {"t": "hb", "pid": self.pid}
+        data = encode_hb_frame(self.pid, binary=self.topology.codec == "binary")
         for pid in self.config.members(self.gid):
             if pid != self.pid and pid in transport.peers:
-                transport.send_frame(pid, frame)
+                transport.send_frame_bytes(pid, data)
 
-    # -- workload --------------------------------------------------------
+    # -- workload (shared) -----------------------------------------------
+
+    def _log_submit(self, mid: Tuple[int, int], dests: FrozenSet[int], now: float) -> None:
+        self._submitted += 1
+        if self._first_submit_ms is None:
+            self._first_submit_ms = now
+        if self._submit_fh is not None:
+            # Hand-formatted JSON line (hot path: one line per
+            # submission, flushed for crash robustness) — every field
+            # is an int or a round()ed float, so this is valid JSON.
+            dest = ", ".join(map(str, sorted(dests)))
+            self._submit_fh.write(
+                f'{{"mid": [{mid[0]}, {mid[1]}], "dest": [{dest}], '
+                f'"t": {round(now, 3)}}}\n'
+            )
+            self._submit_fh.flush()
+
+    # -- workload (sequential driver) ------------------------------------
 
     def _submit_next(self) -> None:
         i = self._next_submit
@@ -467,10 +608,82 @@ class NetNode:
         self._next_submit += 1
         assert self.proc is not None and self.runtime is not None
         now = self.runtime.net_scheduler.now
-        if self._first_submit_ms is None:
-            self._first_submit_ms = now
         self._submit_times[i] = now
-        self.proc.a_multicast(self.workload[i], payload={"i": i})
+        mc = self.proc.a_multicast(self.workload[i], payload={"i": i})
+        self._log_submit(mc.mid, self.workload[i], now)
+
+    # -- workload (open-loop driver) -------------------------------------
+
+    def _start_clients(self) -> None:
+        """Create this node's share of the clients and start arrivals.
+
+        Client ``c`` lives on node ``pids[c % n]``; its destination
+        plan comes from the seeded plans (every node derives the same
+        assignment). With ``rate_hz`` set, arrivals follow a per-client
+        Poisson process; with 0 the client runs closed-loop, keeping
+        its window full from the start.
+        """
+        topo = self.topology
+        pids = sorted(self.config.group_of)
+        plans = topo.client_plans()
+        assert self.runtime is not None
+        sched = self.runtime.net_scheduler
+        for cid, plan in enumerate(plans):
+            if pids[cid % len(pids)] != self.pid or not plan:
+                continue
+            client = _OpenClient(
+                cid, plan, child_rng(topo.seed, f"net-arrival-{cid}")
+            )
+            self._clients.append(client)
+            if topo.rate_hz > 0:
+                gap_ms = client.rng.expovariate(topo.rate_hz) * 1000.0
+                sched.call_after(gap_ms, self._client_arrival, client)
+            else:
+                client.backlog = len(plan)
+                self._schedule_pump(client)
+
+    def _client_arrival(self, client: _OpenClient) -> None:
+        client.backlog += 1
+        # next + backlog = arrivals so far; the rest of the plan still
+        # needs an arrival scheduled.
+        if len(client.plan) - (client.next + client.backlog) > 0:
+            assert self.runtime is not None
+            gap_ms = client.rng.expovariate(self.topology.rate_hz) * 1000.0
+            self.runtime.net_scheduler.call_after(
+                gap_ms, self._client_arrival, client
+            )
+        self._schedule_pump(client)
+
+    def _schedule_pump(self, client: _OpenClient, delay: float = 0.0) -> None:
+        """Queue a pump as its own job on the process CPU queue.
+
+        Submissions must never run re-entrantly inside another handler
+        (a deliver hook, a timer callback) — same handler-atomicity
+        discipline the sequential driver keeps via ``post_job``.
+        """
+        assert self.proc is not None
+        self.proc.post_job(lambda: self._pump_client(client), delay)
+
+    def _pump_client(self, client: _OpenClient) -> None:
+        """Submit backlog while the window (and the transport) allow."""
+        assert self.proc is not None and self.runtime is not None
+        sched = self.runtime.net_scheduler
+        transport = self._transport
+        while client.backlog > 0 and client.outstanding < self.topology.window:
+            if transport is not None and transport.overloaded():
+                # Backpressure: retry once the send queues drain a bit.
+                self._schedule_pump(client, 5.0)
+                return
+            dests = client.plan[client.next]
+            mc = self.proc.a_multicast(
+                dests, payload={"c": client.cid, "i": client.next}
+            )
+            now = sched.now
+            self._inflight[mc.mid] = (client, now)
+            self._log_submit(mc.mid, dests, now)
+            client.next += 1
+            client.backlog -= 1
+            client.outstanding += 1
 
     def _on_deliver(self, proc: Any, multicast: Any, final_ts: int) -> None:
         mid = multicast.mid
@@ -478,18 +691,22 @@ class NetNode:
             self._last_deliver_ms = self.runtime.net_scheduler.now
         if self._log_fh is not None:
             assert self.runtime is not None
+            # Hand-formatted JSON line (hot path: one line per local
+            # delivery, flushed for crash robustness).
             self._log_fh.write(
-                json.dumps(
-                    {
-                        "mid": [mid[0], mid[1]],
-                        "final": final_ts,
-                        "t": round(self.runtime.net_scheduler.now, 3),
-                    }
-                )
-                + "\n"
+                f'{{"mid": [{mid[0]}, {mid[1]}], "final": {final_ts}, '
+                f'"t": {round(self.runtime.net_scheduler.now, 3)}}}\n'
             )
             self._log_fh.flush()
         self._delivered += 1
+        if self.open_mode and mid[0] == self.pid:
+            entry = self._inflight.pop(mid, None)
+            if entry is not None:
+                client, submitted = entry
+                assert self.runtime is not None
+                self._latencies.append(self.runtime.net_scheduler.now - submitted)
+                client.outstanding -= 1
+                self._schedule_pump(client)
         if self.is_driver and mid[0] == self.pid:
             submitted = self._submit_times.pop(mid[1], None)
             if submitted is not None:
@@ -537,9 +754,11 @@ class NetNode:
             self.runtime.net_scheduler.dead = True
         if self._transport is not None:
             await self._transport.close()
-        if self._log_fh is not None:
-            self._log_fh.close()
-            self._log_fh = None
+        for fh_attr in ("_log_fh", "_submit_fh"):
+            fh = getattr(self, fh_attr)
+            if fh is not None:
+                fh.close()
+                setattr(self, fh_attr, None)
 
     # -- reporting -------------------------------------------------------
 
@@ -574,6 +793,19 @@ class NetNode:
             "wall_ms": round(result.wall_ms, 3),
             #: first submission to last local delivery (driver node only)
             "workload_ms": round(workload_ms, 3),
+            "submitted": self._submitted,
+            "first_submit_ms": (
+                round(self._first_submit_ms, 3)
+                if self._first_submit_ms is not None
+                else None
+            ),
+            "last_deliver_ms": (
+                round(self._last_deliver_ms, 3)
+                if self._last_deliver_ms is not None
+                else None
+            ),
+            "codec": self.topology.codec,
+            "driver_mode": self.topology.driver_mode,
             "transport": result.transport,
             "message_counts": (
                 dict(self.runtime.transport_facade.counts_by_kind)

@@ -25,6 +25,26 @@ The first frame on every connection is a ``hello`` identifying the
 dialing node; all subsequent frames on that connection are attributed
 to that pid. Incoming connections are read-only (responses travel on
 the receiver's own outgoing connection).
+
+Write coalescing (the throughput path): with ``coalesce`` on, outgoing
+frames are *staged* in a per-peer byte buffer instead of being handed
+to the connection one at a time. The first staged frame schedules one
+``call_soon`` flush, so every frame produced by the current cascade of
+event-loop callbacks — a handler burst typically fans the same Batch
+out to five peers and acks back — lands in a single ``write()`` per
+peer instead of one per frame. A buffer crossing
+:data:`COALESCE_MAX_BYTES` is flushed immediately, bounding both
+staging latency and single-write size. Coalescing changes only *write
+grouping*, never order: per-``(src, dst)`` FIFO is preserved because
+staging is strictly FIFO per peer.
+
+Backpressure: each peer connection tracks its queued (staged + unsent)
+bytes. When the total crosses ``max_queue_bytes`` the transport reports
+:meth:`Transport.overloaded`; open-loop drivers poll it to defer
+submissions instead of growing the queue without bound. Frames are
+never dropped — the rmcast layer has retransmit-on-reconnect but no
+loss recovery inside a live connection, so shedding load must happen at
+the submission edge, not the wire.
 """
 
 from __future__ import annotations
@@ -40,6 +60,15 @@ from .codec import FrameDecoder, encode_frame
 #: failure up to BACKOFF_CAP_S.
 BACKOFF_BASE_S = 0.05
 BACKOFF_CAP_S = 1.0
+
+#: Coalescing buffer flush threshold: a peer's staged bytes are flushed
+#: to its connection as soon as they cross this, independent of the
+#: per-drain ``call_soon`` flush.
+COALESCE_MAX_BYTES = 64 * 1024
+
+#: Default per-transport backpressure threshold (staged + unsent bytes
+#: across all peers) above which ``overloaded()`` reports True.
+MAX_QUEUE_BYTES = 4 * 1024 * 1024
 
 #: Callback invoked for every decoded frame: ``on_frame(src_pid, obj)``.
 FrameHandler = Callable[[int, Dict[str, Any]], None]
@@ -64,22 +93,29 @@ class PeerConnection:
         self.host = host
         self.port = port
         self._probe = probe
-        self._queue: Deque[bytes] = deque()
+        self._queue: Deque[Tuple[bytes, int]] = deque()
         self._wakeup = asyncio.Event()
         self._task: Optional[asyncio.Task[None]] = None
         #: Set while a connection is established (first hello written).
         self.connected = asyncio.Event()
         self._closing = False
         self.frames_sent = 0
+        self.bytes_sent = 0
+        #: Socket write+drain cycles; ``frames_sent / writes`` is the
+        #: coalescing ratio the bench records.
+        self.writes = 0
+        self.queued_bytes = 0
         self.connects = 0
         self.reconnects = 0
 
     def start(self) -> None:
         self._task = asyncio.get_running_loop().create_task(self._run())
 
-    def send_bytes(self, data: bytes) -> None:
-        """Queue one encoded frame (called from the event loop only)."""
-        self._queue.append(data)
+    def send_bytes(self, data: bytes, frames: int = 1) -> None:
+        """Queue one write (possibly many coalesced frames); event-loop
+        context only."""
+        self._queue.append((data, frames))
+        self.queued_bytes += len(data)
         self._wakeup.set()
 
     def queued(self) -> int:
@@ -142,11 +178,14 @@ class PeerConnection:
                 continue
             batch = len(queue)
             for i in range(batch):
-                writer.write(queue[i])
+                writer.write(queue[i][0])
             await writer.drain()
             for _ in range(batch):
-                queue.popleft()
-            self.frames_sent += batch
+                data, frames = queue.popleft()
+                self.queued_bytes -= len(data)
+                self.frames_sent += frames
+                self.bytes_sent += len(data)
+            self.writes += 1
 
     async def _sleep(self, seconds: float) -> None:
         # Backoff sleep that close() can cut short via the wakeup event.
@@ -178,6 +217,14 @@ class Transport:
             runs on the event loop, one frame at a time (handler
             atomicity is preserved by construction).
         probe: substrate event hook.
+        coalesce: stage outgoing frames per peer and flush once per
+            event-loop drain (see module docstring). Off restores the
+            PR-9 one-write-per-frame behaviour.
+        coalesce_max_bytes: flush a peer's staged buffer immediately
+            once it crosses this size.
+        max_queue_bytes: total queued-bytes threshold above which
+            :meth:`overloaded` reports True (backpressure signal; no
+            frame is ever dropped).
     """
 
     def __init__(
@@ -186,12 +233,23 @@ class Transport:
         addresses: Dict[int, Tuple[str, int]],
         on_frame: FrameHandler,
         probe: Optional[ProbeFn] = None,
+        coalesce: bool = True,
+        coalesce_max_bytes: int = COALESCE_MAX_BYTES,
+        max_queue_bytes: int = MAX_QUEUE_BYTES,
     ) -> None:
         self.pid = pid
         self.addresses = dict(addresses)
         self.on_frame = on_frame
         self.probe: ProbeFn = probe if probe is not None else (lambda e, d: None)
+        self.coalesce = coalesce
+        self.coalesce_max_bytes = coalesce_max_bytes
+        self.max_queue_bytes = max_queue_bytes
         self.peers: Dict[int, PeerConnection] = {}
+        self._pending: Dict[int, bytearray] = {}
+        self._pending_frames: Dict[int, int] = {}
+        self._flush_scheduled = False
+        self.overload_events = 0
+        self._over = False
         self._server: Optional[asyncio.base_events.Server] = None
         self.frames_received = 0
 
@@ -225,6 +283,7 @@ class Transport:
     async def flush(self, timeout_s: float = 2.0) -> bool:
         """Best-effort: wait until every peer's queue drained (True) or
         the timeout passed (False — e.g. a dead peer's queue)."""
+        self._flush_pending()
         deadline = asyncio.get_running_loop().time() + timeout_s
         while True:
             if all(conn.queued() == 0 for conn in self.peers.values()):
@@ -234,6 +293,7 @@ class Transport:
             await asyncio.sleep(0.01)
 
     async def close(self) -> None:
+        self._flush_pending()
         for conn in self.peers.values():
             await conn.close()
         if self._server is not None:
@@ -249,17 +309,62 @@ class Transport:
             # locally before reaching here; this is a safety net).
             self.on_frame(self.pid, obj)
             return
-        conn = self.peers.get(dst)
-        if conn is None:
-            raise KeyError(f"no connection for pid {dst}")
-        conn.send_bytes(encode_frame(obj))
+        self.send_frame_bytes(dst, encode_frame(obj))
 
     def send_frame_bytes(self, dst: int, data: bytes) -> None:
-        """Queue a pre-encoded frame (fan-out encodes once per frame)."""
+        """Queue a pre-encoded frame (fan-out encodes once per frame).
+
+        With coalescing on, the frame is staged in the peer's buffer;
+        one ``call_soon`` flush per drain hands all staged bytes to the
+        connections in a single write each.
+        """
         conn = self.peers.get(dst)
         if conn is None:
             raise KeyError(f"no connection for pid {dst}")
-        conn.send_bytes(data)
+        if not self.coalesce:
+            conn.send_bytes(data)
+            return
+        buf = self._pending.get(dst)
+        if buf is None:
+            buf = self._pending[dst] = bytearray()
+            self._pending_frames[dst] = 0
+        buf += data
+        self._pending_frames[dst] += 1
+        if len(buf) >= self.coalesce_max_bytes:
+            self._flush_peer(dst)
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            asyncio.get_running_loop().call_soon(self._flush_pending)
+
+    def _flush_peer(self, dst: int) -> None:
+        buf = self._pending.pop(dst, None)
+        if not buf:
+            return
+        frames = self._pending_frames.pop(dst, 0)
+        self.peers[dst].send_bytes(bytes(buf), frames)
+
+    def _flush_pending(self) -> None:
+        self._flush_scheduled = False
+        for dst in list(self._pending):
+            self._flush_peer(dst)
+
+    # -- backpressure ----------------------------------------------------
+
+    def queued_bytes(self) -> int:
+        """Staged + unsent bytes across all peers."""
+        pending = sum(len(b) for b in self._pending.values())
+        return pending + sum(c.queued_bytes for c in self.peers.values())
+
+    def overloaded(self) -> bool:
+        """True while queued bytes exceed ``max_queue_bytes``. Open-loop
+        drivers poll this to defer submissions (frames themselves are
+        never dropped)."""
+        over = self.queued_bytes() > self.max_queue_bytes
+        if over and not self._over:
+            self.overload_events += 1
+            self.probe("overloaded", self.queued_bytes())
+        self._over = over
+        return over
 
     # -- receiving -------------------------------------------------------
 
@@ -294,10 +399,16 @@ class Transport:
     # -- stats -----------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        frames_sent = sum(c.frames_sent for c in self.peers.values())
+        writes = sum(c.writes for c in self.peers.values())
         return {
             "frames_received": self.frames_received,
-            "frames_sent": sum(c.frames_sent for c in self.peers.values()),
+            "frames_sent": frames_sent,
+            "bytes_sent": sum(c.bytes_sent for c in self.peers.values()),
+            "writes": writes,
+            "coalesce_ratio": (frames_sent / writes) if writes else 0.0,
             "connects": sum(c.connects for c in self.peers.values()),
             "reconnects": sum(c.reconnects for c in self.peers.values()),
             "queued": sum(c.queued() for c in self.peers.values()),
+            "overload_events": self.overload_events,
         }

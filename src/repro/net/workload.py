@@ -17,11 +17,20 @@ Message ``i+1`` is only proposed after the driver delivered message
 timestamps strictly increase in submission order, even across epoch
 changes. Each group therefore delivers exactly the submission-order
 subsequence addressed to it, on every backend, every run.
+
+The **open-loop** workload (:func:`make_client_plans`) drops both
+props: K concurrent clients, spread round-robin over the nodes, each
+submit up to ``window`` outstanding messages with Poisson arrivals.
+Interleaving is then timing-dependent, so the statistical per-group
+order/agreement checks (:mod:`repro.verify`) replace the exact
+differential. The *destination sets* stay a pure function of the seed —
+every node can compute exactly how many messages its group will
+deliver, which is what the shutdown barrier needs.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 from ..sim.rng import child_rng
 
@@ -49,3 +58,59 @@ def make_workload(
 def expected_count(workload: List[FrozenSet[int]], gid: int) -> int:
     """How many workload messages a member of ``gid`` must deliver."""
     return sum(1 for dests in workload if gid in dests)
+
+
+def make_client_plans(
+    n_groups: int,
+    n_messages: int,
+    n_clients: int,
+    seed: int,
+    extra_group_p: float = 0.5,
+    home_gids: Optional[List[int]] = None,
+) -> List[List[FrozenSet[int]]]:
+    """Per-client destination plans for the open-loop driver.
+
+    ``n_messages`` total messages are dealt round-robin over
+    ``n_clients`` clients. Each destination set pins the submitting
+    client's *home* group (``home_gids[cid]``, the group of the node
+    the client runs on) plus every other group with probability
+    ``extra_group_p``. The pin is load-bearing, not cosmetic: a
+    PrimCast submitter only a-delivers messages addressed to its own
+    group, and the windowed driver frees a window slot exactly when the
+    submitter observes its own delivery. A message that skipped the
+    home group would occupy its slot forever and wedge the client.
+    Unlike the sequential workload's globally pinned group 0, clients
+    are spread round-robin over *all* nodes, so every group hosts
+    submitters and no group is special cluster-wide.
+
+    Without ``home_gids`` the home group is drawn uniformly instead
+    (standalone use; the cluster driver always passes the real
+    mapping). A pure function of the arguments: every node derives the
+    same plans and can count its group's expected deliveries without
+    any runtime coordination.
+    """
+    if n_groups < 1:
+        raise ValueError("need at least one group")
+    if n_clients < 1:
+        raise ValueError("need at least one client")
+    if home_gids is not None and len(home_gids) != n_clients:
+        raise ValueError("home_gids must have one entry per client")
+    rng = child_rng(seed, "net-open-workload")
+    plans: List[List[FrozenSet[int]]] = [[] for _ in range(n_clients)]
+    for i in range(n_messages):
+        cid = i % n_clients
+        if home_gids is not None:
+            home = home_gids[cid]
+        else:
+            home = rng.randrange(n_groups)
+        d = {home}
+        for g in range(n_groups):
+            if g != home and rng.random() < extra_group_p:
+                d.add(g)
+        plans[cid].append(frozenset(d))
+    return plans
+
+
+def plans_expected_count(plans: List[List[FrozenSet[int]]], gid: int) -> int:
+    """How many open-loop messages a member of ``gid`` must deliver."""
+    return sum(1 for plan in plans for dests in plan if gid in dests)

@@ -53,6 +53,51 @@ def test_history_markdown_empty_is_just_the_header():
     assert len(history_markdown([]).splitlines()) == 2
 
 
+def net_rows():
+    return [
+        {
+            "timestamp": "2026-08-08T00:00:00Z",
+            "point": "net-g2x3-m64-w8",
+            "backend": "net",
+            "msgs_per_sec": 1000.0,
+            "p50_ms": 30.0,
+            "p99_ms": 50.0,
+            "speedup_vs_seq": 3.1,
+            "codec_bytes_ratio": 3.9,
+            "note": "overhaul",
+        },
+        {
+            "timestamp": "2026-08-09T00:00:00Z",
+            "point": "net-g2x3-m64-w8",
+            "backend": "net",
+            "msgs_per_sec": 1500.0,
+            "p50_ms": 25.0,
+            "p99_ms": 40.0,
+            "speedup_vs_seq": 4.0,
+            "codec_bytes_ratio": 4.0,
+            "note": "",
+        },
+    ]
+
+
+def test_history_markdown_splits_net_rows_into_their_own_section():
+    # Sim events/sec and net msgs/sec are not comparable: net-tagged
+    # rows must render as a separate trajectory section with their own
+    # delta chain, leaving the sim table untouched.
+    table = history_markdown(rows() + net_rows())
+    assert "Net backend" in table
+    sim_part, net_part = table.split("Net backend")
+    assert "+100.0%" in sim_part  # sim deltas unchanged by net rows
+    assert "msgs/s" in net_part
+    assert "3.10x" in net_part
+    assert "+50.0%" in net_part  # net delta vs previous *net* row only
+    assert "overhaul" in net_part
+    # A pure-net log renders only the net section.
+    net_only = history_markdown(net_rows())
+    assert "events/s" not in net_only
+    assert net_only.startswith("**Net backend")
+
+
 def test_cli_renders_history_log(tmp_path, capsys):
     log = tmp_path / "hist.jsonl"
     log.write_text(
@@ -83,4 +128,14 @@ def test_repo_history_log_renders():
     assert real, "BENCH_history.jsonl missing or empty at the repo root"
     table = history_table(real)
     assert table.splitlines()[0].startswith("| When (UTC) |")
-    assert len(table.splitlines()) == len(real) + 2
+    # Every row renders: one table line per sim row and per net row
+    # (plus a header pair per section and the net section title).
+    sim = [r for r in real if r.get("backend") != "net"]
+    net = [r for r in real if r.get("backend") == "net"]
+    if not net:
+        expected = len(sim) + 2
+    else:
+        expected = 2 + (len(net) + 2)  # section title + blank + net table
+        if sim:
+            expected += (len(sim) + 2) + 1  # sim table + joining blank
+    assert len(table.splitlines()) == expected

@@ -27,15 +27,22 @@ from repro.core.messages import (
     Start,
 )
 from repro.net.codec import (
+    BINARY_CODECS,
     CODECS,
     CodecError,
     FrameDecoder,
     canonical_message_bytes,
     decode_message,
+    decode_message_binary,
     decode_value,
+    decode_value_binary,
     encode_frame,
+    encode_hb_frame,
     encode_message,
+    encode_message_binary,
+    encode_msg_frame,
     encode_value,
+    encode_value_binary,
 )
 from repro.rmcast.fifo import Batch, Envelope
 
@@ -172,6 +179,21 @@ def test_codec_tags_are_unique():
     assert len(tags) == len(set(tags))
 
 
+def test_every_wire_message_has_a_binary_codec():
+    # The binary fast path must cover exactly the JSON registry: a class
+    # registered in one but not the other would make the codec setting
+    # change which messages are encodable at all.
+    assert set(BINARY_CODECS) == set(CODECS), (
+        "CODECS and BINARY_CODECS must register the same classes — "
+        "add the missing binary encoder/decoder in repro.net.codec"
+    )
+
+
+def test_binary_codec_tags_are_unique():
+    tags = [tag for tag, _, _ in BINARY_CODECS.values()]
+    assert len(tags) == len(set(tags))
+
+
 # ----------------------------------------------------------------------
 # round trips
 # ----------------------------------------------------------------------
@@ -193,6 +215,65 @@ def test_value_roundtrip_property():
     for _ in range(200):
         value = rand_payload(rng)
         assert decode_value(encode_value(value)) == value
+
+
+@pytest.mark.parametrize("cls", sorted(MESSAGE_GENERATORS, key=lambda c: c.__name__))
+def test_binary_message_roundtrip_property(cls):
+    rng = random.Random(f"codec-bin-{cls.__name__}")
+    for _ in range(50):
+        msg = MESSAGE_GENERATORS[cls](rng)
+        encoded = encode_message_binary(msg)
+        decoded = decode_message_binary(encoded)
+        assert type(decoded) is cls
+        assert canonical_message_bytes(decoded) == canonical_message_bytes(msg)
+        # Bit-stable: re-encoding the decoded message reproduces the
+        # exact bytes (unordered containers are canonically sorted).
+        assert encode_message_binary(decoded) == encoded
+
+
+@pytest.mark.parametrize("cls", sorted(MESSAGE_GENERATORS, key=lambda c: c.__name__))
+def test_cross_format_roundtrip_property(cls):
+    # Both codecs are lossless encodings of the same content: a message
+    # that crosses formats (binary decode -> JSON encode -> JSON decode
+    # -> binary encode) must reproduce the original bytes of *each*
+    # format — nodes running different codec settings interoperate.
+    rng = random.Random(f"codec-cross-{cls.__name__}")
+    for _ in range(25):
+        msg = MESSAGE_GENERATORS[cls](rng)
+        json_bytes = encode_message(msg)
+        bin_bytes = encode_message_binary(msg)
+        via_binary = decode_message_binary(bin_bytes)
+        assert encode_message(via_binary) == json_bytes
+        via_json = decode_message(json_bytes)
+        assert encode_message_binary(via_json) == bin_bytes
+
+
+def test_binary_value_roundtrip_property():
+    rng = random.Random("codec-bin-values")
+    for _ in range(200):
+        value = rand_payload(rng)
+        out = bytearray()
+        encode_value_binary(value, out)
+        decoded, off = decode_value_binary(bytes(out), 0)
+        assert off == len(out)
+        assert decoded == value
+
+
+def test_binary_bigint_escape_roundtrip():
+    # Width-0 escape: ints beyond 8 bytes still round-trip exactly.
+    for n in (2**70, -(2**80), 2**63, -(2**63) - 1):
+        out = bytearray()
+        encode_value_binary(n, out)
+        decoded, off = decode_value_binary(bytes(out), 0)
+        assert off == len(out)
+        assert decoded == n
+
+
+def test_binary_rejects_trailing_garbage():
+    rng = random.Random("codec-bin-trailing")
+    encoded = encode_message_binary(MESSAGE_GENERATORS[Ack](rng))
+    with pytest.raises(CodecError):
+        decode_message_binary(encoded + b"\x00")
 
 
 def test_epoch_is_not_flattened_to_a_tuple():
@@ -246,3 +327,47 @@ def test_frame_decoder_rejects_oversized_length():
     decoder = FrameDecoder()
     with pytest.raises(CodecError):
         decoder.feed(b"\xff\xff\xff\xff")
+
+
+def test_frame_decoder_mixed_binary_json_chunked_stream():
+    # One TCP stream interleaving binary and JSON frames (message and
+    # heartbeat), fed in arbitrary chunk sizes: the decoder dispatches
+    # per frame on the first body byte, so mixed-codec peers — e.g. a
+    # rolling upgrade — interoperate on a single connection.
+    rng = random.Random("mixed-framing")
+    expected = []
+    stream = b""
+    for _ in range(40):
+        binary = rng.random() < 0.5
+        if rng.random() < 0.25:
+            pid = rng.randrange(0, 9)
+            stream += encode_hb_frame(pid, binary=binary)
+            expected.append(("hb", pid, None))
+        else:
+            src = rng.randrange(0, 9)
+            cls = rng.choice(sorted(MESSAGE_GENERATORS, key=lambda c: c.__name__))
+            msg = MESSAGE_GENERATORS[cls](rng)
+            stream += encode_msg_frame(src, msg, binary=binary)
+            expected.append(("m", src, msg))
+    for _trial in range(10):
+        decoder = FrameDecoder()
+        out = []
+        i = 0
+        while i < len(stream):
+            n = rng.randrange(1, 9)
+            out.extend(decoder.feed(stream[i : i + n]))
+            i += n
+        assert len(out) == len(expected)
+        for frame, (kind, ident, msg) in zip(out, expected):
+            assert frame["t"] == kind
+            if kind == "hb":
+                assert int(frame["pid"]) == ident
+            else:
+                assert int(frame["src"]) == ident
+                # Binary frames arrive pre-decoded ("msg"); JSON frames
+                # carry the tagged dict ("m") — exactly what the host
+                # dispatches on.
+                decoded = frame.get("msg")
+                if decoded is None:
+                    decoded = decode_message(frame["m"])
+                assert canonical_message_bytes(decoded) == canonical_message_bytes(msg)

@@ -15,8 +15,17 @@ import asyncio
 import pytest
 
 from repro.net.cluster import ClusterSpec, make_topology, run_cluster_inprocess
-from repro.net.differential import diff_cluster_result, run_sim_reference
-from repro.net.workload import expected_count, make_workload
+from repro.net.differential import (
+    diff_cluster_result,
+    run_sim_reference,
+    verify_cluster_logs,
+)
+from repro.net.workload import (
+    expected_count,
+    make_client_plans,
+    make_workload,
+    plans_expected_count,
+)
 
 
 def _run(spec: ClusterSpec, tmp_path, kill_pid=None, kill_after=0):
@@ -84,6 +93,67 @@ def test_asyncio_cluster_survives_killed_leader(tmp_path):
     assert any(e > 0 for e in epochs), epochs
 
 
+def test_asyncio_cluster_binary_codec_matches_sim_reference(tmp_path):
+    # The exact sequential differential must hold bit-identically under
+    # the binary codec + write coalescing: the wire encoding is
+    # transport plumbing, invisible to the protocol.
+    spec = ClusterSpec(
+        n_groups=2, group_size=3, n_messages=8, seed=5, codec="binary"
+    )
+    result = _run(spec, tmp_path)
+    assert result.ok, [(o.pid, o.exit_code) for o in result.outcomes.values()]
+    assert diff_cluster_result(result) == []
+    # The nodes really spoke binary: coalescing stats show multi-frame
+    # writes and binary frames are far smaller than the JSON baseline.
+    stats = [
+        (o.summary or {}).get("transport", {}) for o in result.outcomes.values()
+    ]
+    assert all(s.get("frames_sent", 0) > 0 for s in stats)
+    total_frames = sum(s["frames_sent"] for s in stats)
+    total_bytes = sum(s["bytes_sent"] for s in stats)
+    assert total_bytes / total_frames < 150  # JSON averages ~270 B/frame
+
+
+def test_open_loop_cluster_passes_statistical_checks(tmp_path):
+    # K concurrent windowed clients over real sockets: the exact
+    # differential no longer applies (interleaving is timing-dependent)
+    # but every safety property must hold over the merged logs.
+    spec = ClusterSpec(
+        n_groups=2,
+        group_size=3,
+        n_messages=24,
+        seed=7,
+        driver_mode="open",
+        clients=4,
+        window=3,
+        rate_hz=200.0,
+        codec="binary",
+    )
+    result = _run(spec, tmp_path)
+    assert result.ok, [(o.pid, o.exit_code) for o in result.outcomes.values()]
+    assert verify_cluster_logs(result) == []
+    summaries = [o.summary for o in result.outcomes.values() if o.summary]
+    assert sum(s["submitted"] for s in summaries) == spec.n_messages
+    # Submitters measured their own end-to-end latencies.
+    assert any(s["latencies_ms"] for s in summaries)
+
+
+def test_client_plans_are_deterministic_and_home_rooted():
+    homes = [0, 1, 0, 1]
+    a = make_client_plans(2, 20, 4, seed=3, home_gids=homes)
+    b = make_client_plans(2, 20, 4, seed=3, home_gids=homes)
+    assert a == b
+    assert make_client_plans(2, 20, 4, seed=4, home_gids=homes) != a
+    # Round-robin deal: 20 messages over 4 clients = 5 each.
+    assert [len(plan) for plan in a] == [5, 5, 5, 5]
+    # The pin: every destination set includes the client's home group
+    # (the submitter must observe its own deliveries to free its
+    # window slot).
+    for cid, plan in enumerate(a):
+        assert all(homes[cid] in dests for dests in plan)
+    assert sum(plans_expected_count(a, g) for g in (0, 1)) >= 20
+
+
 def test_cluster_spec_validation():
     with pytest.raises(ValueError):
         ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=0).validate()
@@ -92,3 +162,17 @@ def test_cluster_spec_validation():
     with pytest.raises(ValueError):
         ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=99).validate()
     ClusterSpec(n_groups=2, group_size=3, n_messages=4, kill_pid=3).validate()
+    # Open-driver validation: needs clients/window >= 1, no kill.
+    with pytest.raises(ValueError):
+        ClusterSpec(
+            n_groups=2, group_size=3, n_messages=4, driver_mode="open", clients=0
+        ).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(
+            n_groups=2, group_size=3, n_messages=4, driver_mode="open", kill_pid=3
+        ).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(n_groups=2, group_size=3, n_messages=4, codec="msgpack").validate()
+    ClusterSpec(
+        n_groups=2, group_size=3, n_messages=4, driver_mode="open", clients=2
+    ).validate()
